@@ -1,0 +1,88 @@
+"""Figure 11 (and Table A.6): frame-rate MAE of IP/UDP ML under increasing
+packet loss, using the controlled impairment sweeps of Section 5.4.
+
+Paper shape: errors grow as loss grows (losses cause retransmissions and
+reordering that IP/UDP features cannot fully disambiguate); the IP/UDP
+Heuristic degrades even faster than the ML model.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import N_ESTIMATORS, save_artifact
+from repro.analysis.reporting import format_series, format_table
+from repro.core.evaluation import EvaluationDataset, cross_validated_predictions, heuristic_predictions
+from repro.datasets.synthetic import SweepConfig, build_impairment_sweep
+from repro.ml.metrics import mean_absolute_error
+from repro.netem.impairments import IMPAIRMENT_PROFILES
+
+LOSS_VALUES = (1.0, 5.0, 10.0, 20.0)
+
+
+def _sweep_mae():
+    sweep = build_impairment_sweep(
+        SweepConfig(
+            profile_name="packet_loss",
+            calls_per_value=2,
+            call_duration_s=15,
+            values=LOSS_VALUES,
+            seed=31,
+        )
+    )
+    ml_mae = {vca: [] for vca in sweep}
+    heuristic_mae = {vca: [] for vca in sweep}
+    for vca, per_value in sweep.items():
+        for value in LOSS_VALUES:
+            dataset = EvaluationDataset.from_calls(per_value[value])
+            truth = dataset.ground_truth["frame_rate"]
+            predictions = cross_validated_predictions(
+                dataset, "ipudp_ml", "frame_rate", n_splits=3, n_estimators=N_ESTIMATORS
+            )
+            ml_mae[vca].append(mean_absolute_error(truth, predictions))
+            heuristic_mae[vca].append(
+                mean_absolute_error(truth, heuristic_predictions(dataset, "ipudp_heuristic", "frame_rate"))
+            )
+    return ml_mae, heuristic_mae
+
+
+def test_fig11_loss_sweep(benchmark):
+    ml_mae, heuristic_mae = benchmark.pedantic(_sweep_mae, rounds=1, iterations=1)
+
+    sections = [
+        format_table(
+            ["Impairment", "swept values"],
+            [[name, str(profile.values)] for name, profile in IMPAIRMENT_PROFILES.items()],
+            title="Table A.6 - impairment profiles",
+        )
+    ]
+    for vca in ml_mae:
+        sections.append(
+            format_series(
+                f"Figure 11 - IP/UDP ML frame-rate MAE vs packet loss ({vca})",
+                LOSS_VALUES,
+                [round(v, 2) for v in ml_mae[vca]],
+                x_label="loss [%]",
+                y_label="MAE [fps]",
+            )
+        )
+        sections.append(
+            format_series(
+                f"(companion) IP/UDP Heuristic frame-rate MAE vs packet loss ({vca})",
+                LOSS_VALUES,
+                [round(v, 2) for v in heuristic_mae[vca]],
+                x_label="loss [%]",
+                y_label="MAE [fps]",
+            )
+        )
+    save_artifact("fig11_loss_sweep", "\n\n".join(sections))
+
+    for vca, series in ml_mae.items():
+        assert all(np.isfinite(v) and v >= 0 for v in series), vca
+        # At 20% loss the loss-sensitive heuristic is at least as bad as the ML model.
+        assert heuristic_mae[vca][-1] >= series[-1] * 0.8, vca
+    # The size-based heuristic degrades sharply with loss (retransmissions
+    # create false frame boundaries): averaged across VCAs, MAE at 20% loss
+    # clearly exceeds MAE at 1% loss.  (In this reproduction the ML model is
+    # more loss-robust than the paper reports -- see EXPERIMENTS.md.)
+    heuristic_low = np.mean([series[0] for series in heuristic_mae.values()])
+    heuristic_high = np.mean([series[-1] for series in heuristic_mae.values()])
+    assert heuristic_high > heuristic_low

@@ -1,0 +1,49 @@
+"""Figure 12: IP/UDP ML frame-rate MAE as the prediction window grows.
+
+Paper shape: errors shrink as the window grows (misalignment averages out and
+the target becomes smoother).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import N_ESTIMATORS, save_artifact
+from repro.analysis.reporting import format_series
+from repro.core.evaluation import EvaluationDataset, cross_validated_predictions
+from repro.ml.metrics import mean_absolute_error
+
+WINDOW_SIZES = (1, 2, 5)
+
+
+def _window_sweep(lab_calls):
+    mae = {vca: [] for vca in lab_calls}
+    for vca, calls in lab_calls.items():
+        for window_s in WINDOW_SIZES:
+            dataset = EvaluationDataset.from_calls(calls, window_s=window_s)
+            predictions = cross_validated_predictions(
+                dataset, "ipudp_ml", "frame_rate", n_splits=3, n_estimators=N_ESTIMATORS
+            )
+            mae[vca].append(mean_absolute_error(dataset.ground_truth["frame_rate"], predictions))
+    return mae
+
+
+def test_fig12_prediction_window_sweep(benchmark, lab_calls):
+    mae = benchmark.pedantic(_window_sweep, args=(lab_calls,), rounds=1, iterations=1)
+
+    sections = [
+        format_series(
+            f"Figure 12 - IP/UDP ML frame-rate MAE vs prediction window ({vca}, in-lab)",
+            WINDOW_SIZES,
+            [round(v, 2) for v in series],
+            x_label="window [s]",
+            y_label="MAE [fps]",
+        )
+        for vca, series in mae.items()
+    ]
+    save_artifact("fig12_window_sweep", "\n\n".join(sections))
+
+    for vca, series in mae.items():
+        # Larger windows do not increase the error (allowing small noise).
+        assert series[-1] <= series[0] * 1.25, vca
+    mean_small = np.mean([series[0] for series in mae.values()])
+    mean_large = np.mean([series[-1] for series in mae.values()])
+    assert mean_large <= mean_small

@@ -1,0 +1,37 @@
+"""Figure 3: frame-rate error distributions and MAE, four methods x three VCAs
+(in-lab data).
+
+Paper shape: ML methods (RTP ML, IP/UDP ML) have comparable MAE; heuristics
+are worse, with the IP/UDP Heuristic worst overall; Meet's IP/UDP Heuristic
+over-estimates (frame splits).
+"""
+
+from benchmarks.conftest import N_ESTIMATORS, save_artifact
+from repro.analysis.reporting import format_method_comparison
+from repro.core.evaluation import compare_methods
+
+
+def test_fig3_frame_rate_errors_inlab(benchmark, lab_datasets):
+    def run():
+        return {
+            vca: compare_methods(dataset, "frame_rate", n_estimators=N_ESTIMATORS)
+            for vca, dataset in lab_datasets.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sections = [
+        format_method_comparison(per_vca, "frame_rate", title=f"Figure 3 - frame rate errors ({vca}, in-lab)")
+        for vca, per_vca in results.items()
+    ]
+    save_artifact("fig3_framerate_inlab", "\n\n".join(sections))
+
+    for vca, per_vca in results.items():
+        ipudp_ml = per_vca["ipudp_ml"].summary
+        rtp_ml = per_vca["rtp_ml"].summary
+        ipudp_heuristic = per_vca["ipudp_heuristic"].summary
+        # IP/UDP ML tracks RTP ML and beats the IP/UDP heuristic.
+        assert ipudp_ml.mae <= ipudp_heuristic.mae, vca
+        assert abs(ipudp_ml.mae - rtp_ml.mae) < 3.5, vca
+    # Meet's IP/UDP heuristic over-estimates on average (splits), per the paper.
+    assert results["meet"]["ipudp_heuristic"].summary.mean > 0.0

@@ -1,0 +1,49 @@
+"""Figure 4: IP/UDP Heuristic error taxonomy (splits / interleaves / coalesces).
+
+Paper shape: Meet shows the most frame splits per prediction window (VP8/VP9
+unequal fragmentation); Webex shows relatively more coalesces (many small,
+similar frames), leading to FPS under-estimation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.reporting import format_table
+from repro.core.errors import analyze_heuristic_errors
+from repro.core.heuristic import IPUDPHeuristic
+from repro.webrtc.profiles import get_profile
+
+
+def _error_breakdowns(lab_calls):
+    breakdowns = {}
+    for vca, calls in lab_calls.items():
+        heuristic = IPUDPHeuristic.for_profile(get_profile(vca))
+        per_call = [
+            analyze_heuristic_errors(call.trace, heuristic, duration_s=call.duration_s)
+            for call in calls
+        ]
+        breakdowns[vca] = {
+            "splits": float(np.mean([b.avg_splits for b in per_call])),
+            "interleaves": float(np.mean([b.avg_interleaves for b in per_call])),
+            "coalesces": float(np.mean([b.avg_coalesces for b in per_call])),
+        }
+    return breakdowns
+
+
+def test_fig4_heuristic_error_types(benchmark, lab_calls):
+    breakdowns = benchmark.pedantic(_error_breakdowns, args=(lab_calls,), rounds=1, iterations=1)
+
+    rows = [
+        [vca, values["splits"], values["interleaves"], values["coalesces"]]
+        for vca, values in breakdowns.items()
+    ]
+    text = format_table(
+        ["VCA", "Splits [avg #frames/window]", "Interleaves", "Coalesces"],
+        rows,
+        title="Figure 4 - IP/UDP Heuristic error types (in-lab)",
+    )
+    save_artifact("fig4_error_types", text)
+
+    # Meet has the most splits; every VCA shows some coalescing.
+    assert breakdowns["meet"]["splits"] >= breakdowns["webex"]["splits"]
+    assert all(values["coalesces"] >= 0.0 for values in breakdowns.values())

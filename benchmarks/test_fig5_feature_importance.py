@@ -1,0 +1,49 @@
+"""Figures 5, 7, 9 (and A.4-A.9): top-5 feature importances per metric.
+
+Paper shape: "# unique sizes" is a top feature for frame-rate estimation;
+"# bytes" (and other volume features) dominate bitrate; packet-size statistics
+dominate resolution.
+"""
+
+from benchmarks.conftest import N_ESTIMATORS, save_artifact
+from repro.analysis.reporting import format_feature_importances
+from repro.core.evaluation import feature_importance_report
+
+
+def test_fig5_7_9_feature_importances(benchmark, lab_datasets):
+    def run():
+        reports = {}
+        for vca, dataset in lab_datasets.items():
+            for method in ("ipudp_ml", "rtp_ml"):
+                for metric in ("frame_rate", "bitrate", "resolution"):
+                    reports[(vca, method, metric)] = feature_importance_report(
+                        dataset, method, metric, k=5, n_estimators=N_ESTIMATORS
+                    )
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sections = []
+    for (vca, method, metric), top in sorted(reports.items()):
+        sections.append(
+            format_feature_importances(
+                top, title=f"Figures 5/7/9/A.4-A.9 - top-5 features ({method}, {metric}, {vca}, in-lab)"
+            )
+        )
+    save_artifact("fig5_7_9_feature_importances", "\n\n".join(sections))
+
+    # Bitrate importances are dominated by volume features for every VCA.
+    volume_features = {"# bytes", "# packets", "Size [mean]", "Size [median]", "Size [max]", "Size [min]"}
+    for vca in lab_datasets:
+        top_names = [name for name, _ in reports[(vca, "ipudp_ml", "bitrate")][:3]]
+        assert any(name in volume_features for name in top_names), vca
+
+    # Frame-rate estimation leans on frame-structure signals: the paper
+    # highlights "# unique sizes"; in the simulator the equivalent signal is
+    # spread across "# unique sizes", "# packets" and the IAT statistics, so we
+    # assert the weaker property that at least one of those frame-count-shaped
+    # features appears in every VCA's top-5 (see EXPERIMENTS.md).
+    frame_count_features = {"# unique sizes", "# packets", "# microbursts", "IAT [mean]", "IAT [median]", "IAT [max]", "IAT [stdev]", "IAT [min]"}
+    for vca in lab_datasets:
+        top_names = {name for name, _ in reports[(vca, "ipudp_ml", "frame_rate")]}
+        assert top_names & frame_count_features, vca

@@ -1,0 +1,55 @@
+"""Figure 6a/6b: bitrate relative error (MRAE) and frame-jitter error (MAE)
+for the four methods on the in-lab data.
+
+Paper shape: IP/UDP ML and RTP ML have similar bitrate MRAE; the heuristics'
+median relative bitrate error is positive (systematic over-estimation, since
+they cannot discount application-layer overheads).  Frame-jitter MAE is large
+relative to the ground-truth jitter for every method (jitter-buffer smoothing).
+"""
+
+from benchmarks.conftest import N_ESTIMATORS, save_artifact
+from repro.analysis.reporting import format_method_comparison
+from repro.core.evaluation import compare_methods
+
+
+def test_fig6a_bitrate_errors_inlab(benchmark, lab_datasets):
+    def run():
+        return {
+            vca: compare_methods(dataset, "bitrate", n_estimators=N_ESTIMATORS)
+            for vca, dataset in lab_datasets.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    sections = [
+        format_method_comparison(per_vca, "bitrate", title=f"Figure 6a - bitrate relative errors ({vca}, in-lab)")
+        for vca, per_vca in results.items()
+    ]
+    save_artifact("fig6a_bitrate_inlab", "\n\n".join(sections))
+
+    for vca, per_vca in results.items():
+        # The two ML methods are close to each other (MRAE gap < 0.15).
+        assert abs(per_vca["ipudp_ml"].summary.mrae - per_vca["rtp_ml"].summary.mrae) < 0.15, vca
+        # The heuristics systematically over-estimate (positive median relative error).
+        assert per_vca["ipudp_heuristic"].summary.median > 0.0, vca
+        assert per_vca["rtp_heuristic"].summary.median > 0.0, vca
+
+
+def test_fig6b_frame_jitter_errors_inlab(benchmark, lab_datasets):
+    def run():
+        return {
+            vca: compare_methods(dataset, "frame_jitter", n_estimators=N_ESTIMATORS)
+            for vca, dataset in lab_datasets.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    sections = [
+        format_method_comparison(per_vca, "frame_jitter", title=f"Figure 6b - frame jitter errors ({vca}, in-lab)")
+        for vca, per_vca in results.items()
+    ]
+    save_artifact("fig6b_jitter_inlab", "\n\n".join(sections))
+
+    for vca, per_vca in results.items():
+        for method, errors in per_vca.items():
+            assert errors.summary.mae >= 0.0, (vca, method)
+        # ML jitter error is not wildly worse than the heuristics'.
+        assert per_vca["ipudp_ml"].summary.mae <= 3.0 * per_vca["rtp_heuristic"].summary.mae + 10.0, vca

@@ -1,0 +1,67 @@
+"""Figure A.10: IP/UDP Heuristic frame-rate MAE as a function of the packet
+lookback parameter (N_max).
+
+Paper shape: Webex is best at a lookback of 1 and degrades as the lookback
+grows (similar small frames get merged); Meet and Teams tolerate or prefer a
+slightly larger lookback.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.reporting import format_series
+from repro.core.heuristic import IPUDPHeuristic
+from repro.core.media import MediaClassifier
+from repro.core.windows import match_windows_to_ground_truth
+from repro.core.heuristic import estimates_from_frames
+from repro.webrtc.profiles import get_profile
+
+LOOKBACKS = (1, 2, 3, 5, 8)
+
+
+def _lookback_sweep(lab_calls):
+    mae = {vca: [] for vca in lab_calls}
+    for vca, calls in lab_calls.items():
+        profile = get_profile(vca)
+        for lookback in LOOKBACKS:
+            heuristic = IPUDPHeuristic(
+                delta_size=profile.heuristic_size_threshold,
+                lookback=lookback,
+                classifier=MediaClassifier(video_size_threshold=profile.video_size_threshold),
+            )
+            errors = []
+            for call in calls:
+                frames = heuristic.assemble(call.trace)
+                matched = match_windows_to_ground_truth(call.trace, call.ground_truth)
+                for sample in matched:
+                    estimate = estimates_from_frames(frames, sample.window.start, sample.window.duration)
+                    errors.append(abs(estimate.frame_rate - sample.ground_truth.frames_received))
+            mae[vca].append(float(np.mean(errors)))
+    return mae
+
+
+def test_figa10_lookback_sweep(benchmark, lab_calls):
+    mae = benchmark.pedantic(_lookback_sweep, args=(lab_calls,), rounds=1, iterations=1)
+
+    sections = [
+        format_series(
+            f"Figure A.10 - IP/UDP Heuristic frame-rate MAE vs packet lookback ({vca}, in-lab)",
+            LOOKBACKS,
+            [round(v, 2) for v in series],
+            x_label="lookback [packets]",
+            y_label="MAE [fps]",
+        )
+        for vca, series in mae.items()
+    ]
+    save_artifact("figa10_lookback_sweep", "\n\n".join(sections))
+
+    # Every series stays finite and positive, and the lookback genuinely moves
+    # the error (the curves are not flat).  The paper's per-VCA optima
+    # (Webex=1, Teams=2, Meet=3) are not exactly reproduced because the
+    # simulator's dominant heuristic error source is retransmission-induced
+    # splits rather than frame coalescing -- see EXPERIMENTS.md.
+    for vca, series in mae.items():
+        assert all(np.isfinite(v) and v >= 0 for v in series), vca
+        assert max(series) - min(series) > 0.0, vca
+    # A modest lookback (>1) never hurts Meet, which suffers the most splits.
+    assert min(mae["meet"][1:3]) <= mae["meet"][0] * 1.1

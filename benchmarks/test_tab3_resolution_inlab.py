@@ -1,0 +1,47 @@
+"""Tables 3 and 4: resolution estimation accuracy and the Teams confusion
+matrix (in-lab data).
+
+Paper shape: IP/UDP ML resolution accuracy is comparable to RTP ML for every
+VCA; the Teams confusion matrix is strong for the low and high bins and weak
+for the medium bin.
+"""
+
+from benchmarks.conftest import N_ESTIMATORS, save_artifact
+from repro.analysis.reporting import format_confusion_matrix, format_table
+from repro.core.evaluation import resolution_report
+
+
+def test_tab3_tab4_resolution_inlab(benchmark, lab_datasets):
+    def run():
+        return {
+            (vca, method): resolution_report(dataset, method, n_estimators=N_ESTIMATORS)
+            for vca, dataset in lab_datasets.items()
+            for method in ("ipudp_ml", "rtp_ml")
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    accuracy_rows = [
+        [method, *(f"{reports[(vca, method)].accuracy * 100.0:.2f}%" for vca in lab_datasets)]
+        for method in ("ipudp_ml", "rtp_ml")
+    ]
+    accuracy_table = format_table(
+        ["Method", *lab_datasets.keys()],
+        accuracy_rows,
+        title="Table 3 - resolution estimation accuracy (in-lab)",
+    )
+
+    teams_report = reports[("teams", "ipudp_ml")]
+    confusion_table = format_confusion_matrix(
+        teams_report.confusion,
+        teams_report.labels,
+        title="Table 4 - Teams resolution confusion matrix (IP/UDP ML, in-lab)",
+    )
+    save_artifact("tab3_tab4_resolution_inlab", accuracy_table + "\n\n" + confusion_table)
+
+    for vca in lab_datasets:
+        ipudp = reports[(vca, "ipudp_ml")].accuracy
+        rtp = reports[(vca, "rtp_ml")].accuracy
+        # Comparable accuracy between the two ML methods.
+        assert abs(ipudp - rtp) < 0.2, vca
+        assert ipudp > 0.5, vca

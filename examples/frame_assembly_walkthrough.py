@@ -1,0 +1,52 @@
+"""Walkthrough of Algorithm 1: frame-boundary detection from packet sizes.
+
+Illustrates (like Figure A.3 in the paper) how the IP/UDP heuristic groups
+packets into frames using only packet sizes, where it succeeds, and where it
+splits or coalesces frames, by comparing against the true RTP timestamps of a
+simulated Meet call.
+
+Run with:  python examples/frame_assembly_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro import ConditionSchedule, NetworkCondition, SessionConfig, simulate_call
+from repro.core.errors import analyze_heuristic_errors
+from repro.core.heuristic import IPUDPHeuristic
+from repro.webrtc.profiles import get_profile
+
+
+def main() -> None:
+    schedule = ConditionSchedule.constant(
+        NetworkCondition(throughput_kbps=1800.0, delay_ms=40.0, jitter_ms=8.0, loss_rate=0.01), 15
+    )
+    call = simulate_call(SessionConfig(vca="meet", duration_s=15, seed=21, call_id="walkthrough"), schedule)
+
+    profile = get_profile("meet")
+    heuristic = IPUDPHeuristic.for_profile(profile)
+    frames = heuristic.assemble(call.trace)
+
+    print("First 12 frames recovered by Algorithm 1 (Meet, Delta=2 bytes, lookback=3):\n")
+    print(f"{'frame':>5} {'packets':>8} {'bytes':>7} {'end time':>9}  true RTP timestamps covered")
+    window = [f for f in frames if 2.0 <= f.end_time < 4.0][:12]
+    for frame in window:
+        timestamps = sorted(frame.true_rtp_timestamps)
+        label = ", ".join(str(ts) for ts in timestamps[:3]) + (" ..." if len(timestamps) > 3 else "")
+        note = ""
+        if len(timestamps) > 1:
+            note = "   <-- coalesced two true frames"
+        print(f"{frame.frame_index:>5} {frame.n_packets:>8} {frame.size_bytes:>7} {frame.end_time:>9.3f}  {label}{note}")
+
+    true_frames = {p.frame_id for p in call.trace if p.frame_id is not None}
+    print(f"\nTrue frames in the call: {len(true_frames)}; frames recovered by the heuristic: {len(frames)}")
+
+    breakdown = analyze_heuristic_errors(call.trace, heuristic, duration_s=call.duration_s)
+    print(
+        f"Average per-second error events -> splits: {breakdown.avg_splits:.2f}, "
+        f"interleaves: {breakdown.avg_interleaves:.2f}, coalesces: {breakdown.avg_coalesces:.2f}"
+    )
+    print("Meet's VP8/VP9 payloadisation makes splits the dominant error type (Section 5.1.2 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Compare the paper's four estimation methods on a small in-lab dataset.
+
+Reproduces the core of the paper's evaluation at toy scale: frame rate,
+bitrate and frame jitter errors for RTP ML, IP/UDP ML, RTP Heuristic and
+IP/UDP Heuristic, plus the IP/UDP ML feature importances.
+
+Run with:  python examples/method_comparison.py [vca]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import LabDatasetConfig, build_lab_dataset
+from repro.analysis.reporting import format_feature_importances, format_method_comparison
+from repro.core.evaluation import EvaluationDataset, compare_methods, feature_importance_report
+
+
+def main(vca: str = "teams") -> None:
+    print(f"Simulating a small in-lab dataset for {vca} ...")
+    lab = build_lab_dataset(LabDatasetConfig(calls_per_vca=5, call_duration_s=20, vcas=(vca,), seed=11))
+    dataset = EvaluationDataset.from_calls(lab[vca])
+    print(f"{dataset.n_windows} one-second prediction windows\n")
+
+    for metric in ("frame_rate", "bitrate", "frame_jitter"):
+        results = compare_methods(dataset, metric, n_estimators=15)
+        print(format_method_comparison(results, metric, title=f"{metric} errors ({vca}, 5-fold CV)"))
+        print()
+
+    top = feature_importance_report(dataset, "ipudp_ml", "frame_rate", k=5, n_estimators=15)
+    print(format_feature_importances(top, title=f"IP/UDP ML top-5 features for frame rate ({vca})"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "teams")

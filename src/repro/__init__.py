@@ -1,0 +1,60 @@
+"""repro -- reproduction of "Estimating WebRTC Video QoE Metrics Without Using
+Application Headers" (IMC 2023).
+
+The package estimates per-second video QoE metrics (frame rate, bitrate,
+frame jitter, resolution) of WebRTC video-conferencing sessions from passive
+network measurements using **only IP/UDP headers**, and compares against
+RTP-header baselines.  Because the original measurement environment (real VCA
+clients, browser automation, household deployments) is not available offline,
+the package also contains a full WebRTC traffic simulator, network emulator
+and dataset builders that reproduce the relevant transport-level behaviour;
+see DESIGN.md for the substitution rationale.
+
+Quickstart::
+
+    from repro import QoEPipeline, build_lab_dataset, LabDatasetConfig
+
+    lab = build_lab_dataset(LabDatasetConfig(calls_per_vca=4))
+    pipeline = QoEPipeline.for_vca("teams").train(lab["teams"])
+    estimates = pipeline.estimate(lab["teams"][0].trace)
+"""
+
+from repro.core.pipeline import PipelineEstimate, QoEPipeline
+from repro.core.estimators import IPUDPMLEstimator, RTPMLEstimator
+from repro.core.heuristic import IPUDPHeuristic
+from repro.core.rtp_heuristic import RTPHeuristic
+from repro.core.media import MediaClassifier
+from repro.core.evaluation import EvaluationDataset, compare_methods
+from repro.datasets.lab import LabDatasetConfig, build_lab_dataset
+from repro.datasets.realworld import RealWorldConfig, build_real_world_dataset
+from repro.datasets.synthetic import SweepConfig, build_impairment_sweep
+from repro.net.trace import PacketTrace
+from repro.netem.conditions import ConditionSchedule, NetworkCondition
+from repro.webrtc.session import CallResult, SessionConfig, simulate_call
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QoEPipeline",
+    "PipelineEstimate",
+    "IPUDPMLEstimator",
+    "RTPMLEstimator",
+    "IPUDPHeuristic",
+    "RTPHeuristic",
+    "MediaClassifier",
+    "EvaluationDataset",
+    "compare_methods",
+    "LabDatasetConfig",
+    "build_lab_dataset",
+    "RealWorldConfig",
+    "build_real_world_dataset",
+    "SweepConfig",
+    "build_impairment_sweep",
+    "PacketTrace",
+    "NetworkCondition",
+    "ConditionSchedule",
+    "SessionConfig",
+    "CallResult",
+    "simulate_call",
+    "__version__",
+]

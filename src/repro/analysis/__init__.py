@@ -1,0 +1,29 @@
+"""Analysis and reporting helpers.
+
+Everything needed to regenerate the paper's tables and figures as text:
+CDFs (:mod:`repro.analysis.cdf`), box-plot style error summaries and ASCII
+tables (:mod:`repro.analysis.reporting`), and the transferability matrices
+(:mod:`repro.analysis.transferability`).
+"""
+
+from repro.analysis.cdf import empirical_cdf, cdf_table
+from repro.analysis.reporting import (
+    format_confusion_matrix,
+    format_feature_importances,
+    format_method_comparison,
+    format_series,
+    format_table,
+)
+from repro.analysis.transferability import TransferabilityResult, transferability_table
+
+__all__ = [
+    "empirical_cdf",
+    "cdf_table",
+    "format_table",
+    "format_series",
+    "format_method_comparison",
+    "format_confusion_matrix",
+    "format_feature_importances",
+    "TransferabilityResult",
+    "transferability_table",
+]

@@ -1,0 +1,37 @@
+"""Empirical CDF helpers for the paper's distribution figures (1, 2, A.1, A.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["empirical_cdf", "cdf_table", "fraction_at_or_below"]
+
+
+def empirical_cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_fractions)`` for plotting a CDF."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot compute a CDF of an empty sample")
+    ordered = np.sort(values)
+    fractions = np.arange(1, len(ordered) + 1) / len(ordered)
+    return ordered, fractions
+
+
+def fraction_at_or_below(values, threshold: float) -> float:
+    """CDF evaluated at ``threshold``: P(X <= threshold)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot evaluate a CDF of an empty sample")
+    return float(np.mean(values <= threshold))
+
+
+def cdf_table(values, points: list[float] | None = None, n_points: int = 11) -> list[tuple[float, float]]:
+    """A compact ``(value, cdf)`` table, either at given ``points`` or at
+    evenly spaced quantiles (for text rendering of CDF figures)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot compute a CDF of an empty sample")
+    if points is not None:
+        return [(float(p), fraction_at_or_below(values, p)) for p in points]
+    quantiles = np.linspace(0.0, 1.0, n_points)
+    return [(float(np.quantile(values, q)), float(q)) for q in quantiles]

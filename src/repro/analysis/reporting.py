@@ -1,0 +1,92 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness prints every reproduced table/figure as ASCII so that
+``pytest benchmarks/ --benchmark-only`` output can be compared side by side
+with the paper.  These helpers keep that formatting consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_method_comparison",
+    "format_confusion_matrix",
+    "format_feature_importances",
+]
+
+#: Display names matching the paper's legend.
+METHOD_DISPLAY_NAMES: dict[str, str] = {
+    "rtp_ml": "RTP ML",
+    "ipudp_ml": "IP/UDP ML",
+    "rtp_heuristic": "RTP Heuristic",
+    "ipudp_heuristic": "IP/UDP Heuristic",
+}
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Fixed-width ASCII table."""
+    columns = [headers] + [[_fmt(cell) for cell in row] for row in rows]
+    widths = [max(len(str(row[i])) for row in columns) for i in range(len(headers))]
+
+    def render_row(row) -> str:
+        return " | ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(render_row([_fmt(cell) for cell in row]))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_series(name: str, xs, ys, x_label: str = "x", y_label: str = "y") -> str:
+    """A small two-column table for figure series (e.g. MAE vs loss)."""
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def format_method_comparison(results: dict, metric: str, title: str | None = None) -> str:
+    """Render a ``{method: MethodErrors}`` mapping like the Figure 3/6/10 annotations."""
+    headers = ["Method", "MAE", "MRAE", "median err", "p10", "p90", "n"]
+    rows = []
+    for method, errors in results.items():
+        summary = errors.summary
+        rows.append(
+            [
+                METHOD_DISPLAY_NAMES.get(method, method),
+                summary.mae,
+                summary.mrae,
+                summary.median,
+                summary.p10,
+                summary.p90,
+                summary.n,
+            ]
+        )
+    return format_table(headers, rows, title=title or f"Error comparison ({metric})")
+
+
+def format_confusion_matrix(matrix: np.ndarray, labels, title: str | None = None) -> str:
+    """Row-normalised confusion matrix as percentages (Tables 2, 4, A.1-A.3)."""
+    matrix = np.asarray(matrix, dtype=float)
+    headers = ["Actual \\ Predicted"] + [str(label) for label in labels]
+    rows = []
+    for i, label in enumerate(labels):
+        rows.append([str(label)] + [f"{100.0 * value:.2f}%" for value in matrix[i]])
+    return format_table(headers, rows, title=title)
+
+
+def format_feature_importances(top_features: list[tuple[str, float]], title: str | None = None) -> str:
+    """Top-k feature importance list (Figures 5, 7, 9, A.4-A.9)."""
+    rows = [[name, f"{100.0 * importance:.1f}%"] for name, importance in top_features]
+    return format_table(["Feature", "Importance"], rows, title=title)

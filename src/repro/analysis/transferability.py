@@ -1,0 +1,50 @@
+"""Model transferability analysis (Section 5.3, Tables 5, A.4, A.5).
+
+Trains ML models on the in-lab dataset and evaluates them on the real-world
+dataset, per VCA and per metric, reproducing the tables' MAE matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evaluation import EvaluationDataset, transfer_mae
+
+__all__ = ["TransferabilityResult", "transferability_table"]
+
+
+@dataclass(frozen=True)
+class TransferabilityResult:
+    """Lab-to-real-world MAE for one (method, metric, VCA) combination."""
+
+    method: str
+    metric: str
+    vca: str
+    mae: float
+
+
+def transferability_table(
+    lab_datasets: dict[str, EvaluationDataset],
+    real_world_datasets: dict[str, EvaluationDataset],
+    metric: str,
+    methods: tuple[str, ...] = ("ipudp_ml", "rtp_ml"),
+    n_estimators: int = 30,
+) -> list[TransferabilityResult]:
+    """Compute one of the paper's transferability tables.
+
+    ``lab_datasets`` and ``real_world_datasets`` map VCA names to
+    :class:`EvaluationDataset` objects built from the respective datasets;
+    only VCAs present in both are evaluated.
+    """
+    results: list[TransferabilityResult] = []
+    for vca in sorted(set(lab_datasets) & set(real_world_datasets)):
+        for method in methods:
+            mae = transfer_mae(
+                lab_datasets[vca],
+                real_world_datasets[vca],
+                method=method,
+                metric=metric,
+                n_estimators=n_estimators,
+            )
+            results.append(TransferabilityResult(method=method, metric=metric, vca=vca, mae=mae))
+    return results

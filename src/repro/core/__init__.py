@@ -1,0 +1,57 @@
+"""The paper's primary contribution: VCA QoE estimation from passive traffic.
+
+Four estimation methods are implemented, matching Section 3:
+
+* :class:`~repro.core.heuristic.IPUDPHeuristic` -- frame-boundary detection
+  from packet sizes only (Algorithm 1), then frame rate / bitrate / frame
+  jitter from the recovered frames.
+* :class:`~repro.core.estimators.IPUDPMLEstimator` -- random forests over the
+  14 IP/UDP features of Table 1.
+* :class:`~repro.core.rtp_heuristic.RTPHeuristic` -- the RTP-timestamp +
+  marker-bit baseline (Michel et al.-style).
+* :class:`~repro.core.estimators.RTPMLEstimator` -- random forests over RTP
+  header features plus flow statistics.
+
+Supporting pieces: media classification (:mod:`repro.core.media`), windowing
+(:mod:`repro.core.windows`), feature extraction (:mod:`repro.core.features`),
+resolution binning (:mod:`repro.core.resolution`), the evaluation protocol
+(:mod:`repro.core.evaluation`), the heuristic error taxonomy
+(:mod:`repro.core.errors`) and the end-to-end pipeline
+(:mod:`repro.core.pipeline`).
+"""
+
+from repro.core.estimators import IPUDPMLEstimator, RTPMLEstimator
+from repro.core.features import (
+    IPUDP_FEATURE_NAMES,
+    RTP_FEATURE_NAMES,
+    extract_ipudp_features,
+    extract_rtp_features,
+)
+from repro.core.frame_assembly import FrameAssembler, assemble_frames
+from repro.core.heuristic import IPUDPHeuristic
+from repro.core.media import MediaClassifier, MediaClassificationReport
+from repro.core.pipeline import QoEPipeline, PipelineEstimate
+from repro.core.resolution import ResolutionBinner, TEAMS_RESOLUTION_BINS
+from repro.core.rtp_heuristic import RTPHeuristic
+from repro.core.windows import WindowedTrace, window_trace
+
+__all__ = [
+    "MediaClassifier",
+    "MediaClassificationReport",
+    "FrameAssembler",
+    "assemble_frames",
+    "IPUDPHeuristic",
+    "RTPHeuristic",
+    "IPUDPMLEstimator",
+    "RTPMLEstimator",
+    "extract_ipudp_features",
+    "extract_rtp_features",
+    "IPUDP_FEATURE_NAMES",
+    "RTP_FEATURE_NAMES",
+    "WindowedTrace",
+    "window_trace",
+    "ResolutionBinner",
+    "TEAMS_RESOLUTION_BINS",
+    "QoEPipeline",
+    "PipelineEstimate",
+]

@@ -1,0 +1,138 @@
+"""Heuristic error taxonomy (Section 5.1.2, Figure 4).
+
+The IP/UDP Heuristic's frame-boundary assumption fails in three ways:
+
+* **splits** -- packets of one true frame differ by more than the size
+  threshold, so the frame is split into several estimated frames
+  (over-estimates FPS; dominant for Meet);
+* **coalesces** -- two consecutive true frames are so similar in size that
+  their packets are merged into one estimated frame (under-estimates FPS;
+  dominant for Webex);
+* **interleaves** -- reordered packets cause the packets of different true
+  frames to alternate inside the lookback window, creating false boundaries.
+
+The paper measures each per prediction window by comparing the heuristic's
+frame assignments with the true frame boundaries (RTP timestamps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.frame_assembly import AssembledFrame
+from repro.core.heuristic import IPUDPHeuristic
+from repro.net.trace import PacketTrace
+
+__all__ = ["WindowErrorCounts", "ErrorBreakdown", "analyze_heuristic_errors"]
+
+
+@dataclass(frozen=True)
+class WindowErrorCounts:
+    """Counts of each error type within one prediction window."""
+
+    splits: int
+    coalesces: int
+    interleaves: int
+    n_true_frames: int
+    n_estimated_frames: int
+
+
+@dataclass(frozen=True)
+class ErrorBreakdown:
+    """Average per-window counts of each error type (the Figure 4 bars)."""
+
+    avg_splits: float
+    avg_coalesces: float
+    avg_interleaves: float
+    n_windows: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "splits": self.avg_splits,
+            "coalesces": self.avg_coalesces,
+            "interleaves": self.avg_interleaves,
+        }
+
+
+def _window_error_counts(
+    frames: list[AssembledFrame],
+    window_start: float,
+    window_s: float,
+    delta_size: float,
+) -> WindowErrorCounts:
+    in_window = [f for f in frames if window_start <= f.end_time < window_start + window_s]
+
+    true_frame_ids: set[int] = set()
+    splits = 0
+    coalesces = 0
+    interleaves = 0
+
+    # Splits: a true frame whose packets exhibit an intra-frame size
+    # difference above the threshold ends up spread over several estimated
+    # frames.  Count true frames (within the window) whose packets' size
+    # spread exceeds the threshold.
+    sizes_by_true_frame: dict[int, list[int]] = {}
+    for frame in in_window:
+        for packet in frame.packets:
+            if packet.frame_id is None:
+                continue
+            true_frame_ids.add(packet.frame_id)
+            sizes_by_true_frame.setdefault(packet.frame_id, []).append(packet.payload_size)
+    for sizes in sizes_by_true_frame.values():
+        if len(sizes) >= 2 and (max(sizes) - min(sizes)) > delta_size:
+            splits += 1
+
+    for frame in in_window:
+        ids = [p.frame_id for p in frame.packets if p.frame_id is not None]
+        if not ids:
+            continue
+        distinct = set(ids)
+        # Coalesces: one estimated frame covering more than one true frame.
+        if len(distinct) > 1:
+            coalesces += len(distinct) - 1
+            # Interleaves: the true frame ids alternate (non-contiguous runs)
+            # within the estimated frame's packet order.
+            runs = 1
+            for previous, current in zip(ids, ids[1:]):
+                if current != previous:
+                    runs += 1
+            if runs > len(distinct):
+                interleaves += runs - len(distinct)
+
+    return WindowErrorCounts(
+        splits=splits,
+        coalesces=coalesces,
+        interleaves=interleaves,
+        n_true_frames=len(true_frame_ids),
+        n_estimated_frames=len(in_window),
+    )
+
+
+def analyze_heuristic_errors(
+    trace: PacketTrace,
+    heuristic: IPUDPHeuristic,
+    duration_s: int,
+    window_s: float = 1.0,
+    skip_leading_s: int = 2,
+) -> ErrorBreakdown:
+    """Average per-window split/coalesce/interleave counts for one call.
+
+    The heuristic runs blind (no RTP headers); the comparison against true
+    frame boundaries uses the ground-truth frame annotations carried by the
+    simulated trace, mirroring the paper's use of RTP timestamps as truth.
+    """
+    frames = heuristic.assemble(trace)
+    delta = heuristic.assembler.delta_size
+    counts: list[WindowErrorCounts] = []
+    for second in range(skip_leading_s, duration_s):
+        counts.append(_window_error_counts(frames, float(second), window_s, delta))
+    if not counts:
+        return ErrorBreakdown(0.0, 0.0, 0.0, 0)
+    return ErrorBreakdown(
+        avg_splits=float(np.mean([c.splits for c in counts])),
+        avg_coalesces=float(np.mean([c.coalesces for c in counts])),
+        avg_interleaves=float(np.mean([c.interleaves for c in counts])),
+        n_windows=len(counts),
+    )

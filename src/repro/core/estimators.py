@@ -1,0 +1,261 @@
+"""ML-based QoE estimators (Section 3.2.2 and 3.3).
+
+:class:`IPUDPMLEstimator` trains one random forest per QoE metric on the 14
+IP/UDP features; :class:`RTPMLEstimator` does the same on the RTP feature
+set.  Frame rate, bitrate and frame jitter are regression targets; resolution
+is a classification target over heights (or the Teams low/medium/high bins).
+
+Both estimators share the same interface so the evaluation and benchmark code
+can treat all four methods (two heuristics, two ML models) uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.features import (
+    IPUDP_FEATURE_NAMES,
+    RTP_FEATURE_NAMES,
+    extract_ipudp_features,
+    extract_rtp_features,
+)
+from repro.core.media import MediaClassifier
+from repro.core.resolution import ResolutionBinner
+from repro.core.windows import WindowedTrace
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.rtp.payload_types import PayloadTypeMap
+from repro.webrtc.profiles import VCAProfile
+
+__all__ = [
+    "REGRESSION_METRICS",
+    "ALL_METRICS",
+    "MLEstimateRow",
+    "BaseMLEstimator",
+    "IPUDPMLEstimator",
+    "RTPMLEstimator",
+]
+
+#: The three regression targets.
+REGRESSION_METRICS: tuple[str, ...] = ("frame_rate", "bitrate", "frame_jitter")
+#: All four QoE metrics (resolution is a classification target).
+ALL_METRICS: tuple[str, ...] = REGRESSION_METRICS + ("resolution",)
+
+
+@dataclass(frozen=True)
+class MLEstimateRow:
+    """Per-window predictions from an ML estimator."""
+
+    window_start: float
+    frame_rate: float
+    bitrate_kbps: float
+    frame_jitter_ms: float
+    resolution: str | None
+
+    def metric(self, name: str):
+        if name == "frame_rate":
+            return self.frame_rate
+        if name == "bitrate":
+            return self.bitrate_kbps
+        if name == "frame_jitter":
+            return self.frame_jitter_ms
+        if name == "resolution":
+            return self.resolution
+        raise ValueError(f"unknown metric: {name!r}")
+
+
+@dataclass
+class _ForestParams:
+    """Hyper-parameters shared by all per-metric forests."""
+
+    n_estimators: int = 30
+    max_depth: int | None = 12
+    min_samples_leaf: int = 2
+    random_state: int = 0
+
+
+class BaseMLEstimator:
+    """Shared fit/predict machinery for the two ML estimators."""
+
+    #: Human-readable feature names, set by subclasses.
+    feature_names: tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        resolution_binner: ResolutionBinner | None = None,
+        n_estimators: int = 30,
+        max_depth: int | None = 12,
+        min_samples_leaf: int = 2,
+        random_state: int = 0,
+    ) -> None:
+        self.resolution_binner = resolution_binner if resolution_binner is not None else ResolutionBinner(None)
+        self.params = _ForestParams(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            random_state=random_state,
+        )
+        self.regressors_: dict[str, RandomForestRegressor] = {}
+        self.classifier_: RandomForestClassifier | None = None
+
+    # -- feature extraction (subclass hook) ------------------------------------
+
+    def features_for_window(self, window: WindowedTrace) -> np.ndarray:
+        raise NotImplementedError
+
+    def feature_matrix(self, windows: list[WindowedTrace]) -> np.ndarray:
+        """Stack per-window feature vectors into a design matrix."""
+        if not windows:
+            raise ValueError("need at least one window")
+        return np.vstack([self.features_for_window(w) for w in windows])
+
+    # -- training ---------------------------------------------------------------
+
+    def _make_regressor(self) -> RandomForestRegressor:
+        return RandomForestRegressor(
+            n_estimators=self.params.n_estimators,
+            max_depth=self.params.max_depth,
+            min_samples_leaf=self.params.min_samples_leaf,
+            max_features="sqrt",
+            random_state=self.params.random_state,
+        )
+
+    def _make_classifier(self) -> RandomForestClassifier:
+        return RandomForestClassifier(
+            n_estimators=self.params.n_estimators,
+            max_depth=self.params.max_depth,
+            min_samples_leaf=self.params.min_samples_leaf,
+            max_features="sqrt",
+            random_state=self.params.random_state,
+        )
+
+    def fit(self, X: np.ndarray, targets: dict[str, np.ndarray]) -> "BaseMLEstimator":
+        """Train one model per metric present in ``targets``.
+
+        ``targets`` maps metric names ("frame_rate", "bitrate", "frame_jitter",
+        "resolution") to per-window target arrays aligned with the rows of
+        ``X``.  Resolution targets are class labels (already binned).
+        """
+        X = np.asarray(X, dtype=float)
+        for metric, y in targets.items():
+            if metric == "resolution":
+                classifier = self._make_classifier()
+                classifier.fit(X, np.asarray(y))
+                self.classifier_ = classifier
+            elif metric in REGRESSION_METRICS:
+                regressor = self._make_regressor()
+                regressor.fit(X, np.asarray(y, dtype=float))
+                self.regressors_[metric] = regressor
+            else:
+                raise ValueError(f"unknown metric: {metric!r}")
+        return self
+
+    def fit_windows(self, windows: list[WindowedTrace], targets: dict[str, np.ndarray]) -> "BaseMLEstimator":
+        return self.fit(self.feature_matrix(windows), targets)
+
+    # -- prediction --------------------------------------------------------------
+
+    def _check_fitted(self, metric: str) -> None:
+        if metric == "resolution":
+            if self.classifier_ is None:
+                raise RuntimeError("resolution model is not fitted")
+        elif metric not in self.regressors_:
+            raise RuntimeError(f"model for metric {metric!r} is not fitted")
+
+    def predict_metric(self, X: np.ndarray, metric: str) -> np.ndarray:
+        """Predict one metric for a design matrix."""
+        self._check_fitted(metric)
+        X = np.asarray(X, dtype=float)
+        if metric == "resolution":
+            assert self.classifier_ is not None
+            return self.classifier_.predict(X)
+        predictions = self.regressors_[metric].predict(X)
+        # QoE metrics are non-negative by definition.
+        return np.maximum(predictions, 0.0)
+
+    def predict_windows(self, windows: list[WindowedTrace]) -> list[MLEstimateRow]:
+        """Full per-window estimates for every fitted metric."""
+        X = self.feature_matrix(windows)
+        columns: dict[str, np.ndarray] = {}
+        for metric in self.regressors_:
+            columns[metric] = self.predict_metric(X, metric)
+        if self.classifier_ is not None:
+            columns["resolution"] = self.predict_metric(X, "resolution")
+        rows = []
+        for i, window in enumerate(windows):
+            rows.append(
+                MLEstimateRow(
+                    window_start=window.start,
+                    frame_rate=float(columns["frame_rate"][i]) if "frame_rate" in columns else float("nan"),
+                    bitrate_kbps=float(columns["bitrate"][i]) if "bitrate" in columns else float("nan"),
+                    frame_jitter_ms=float(columns["frame_jitter"][i]) if "frame_jitter" in columns else float("nan"),
+                    resolution=str(columns["resolution"][i]) if "resolution" in columns else None,
+                )
+            )
+        return rows
+
+    # -- interpretation -----------------------------------------------------------
+
+    def feature_importances(self, metric: str) -> dict[str, float]:
+        """Impurity-based feature importances for one metric's model."""
+        self._check_fitted(metric)
+        if metric == "resolution":
+            assert self.classifier_ is not None
+            importances = self.classifier_.feature_importances_
+        else:
+            importances = self.regressors_[metric].feature_importances_
+        assert importances is not None
+        return dict(zip(self.feature_names, importances.tolist()))
+
+    def top_features(self, metric: str, k: int = 5) -> list[tuple[str, float]]:
+        """The ``k`` most important features for ``metric`` (Figures 5, 7, 9)."""
+        importances = self.feature_importances(metric)
+        ranked = sorted(importances.items(), key=lambda item: item[1], reverse=True)
+        return ranked[:k]
+
+
+class IPUDPMLEstimator(BaseMLEstimator):
+    """Random forests over the 14 IP/UDP features (the paper's IP/UDP ML)."""
+
+    feature_names = IPUDP_FEATURE_NAMES
+
+    def __init__(self, classifier: MediaClassifier | None = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.media_classifier = classifier if classifier is not None else MediaClassifier()
+
+    @classmethod
+    def for_profile(cls, profile: VCAProfile, **kwargs) -> "IPUDPMLEstimator":
+        from repro.core.resolution import binner_for_vca
+
+        return cls(
+            classifier=MediaClassifier(video_size_threshold=profile.video_size_threshold),
+            resolution_binner=binner_for_vca(profile.name),
+            **kwargs,
+        )
+
+    def features_for_window(self, window: WindowedTrace) -> np.ndarray:
+        return extract_ipudp_features(window, classifier=self.media_classifier)
+
+
+class RTPMLEstimator(BaseMLEstimator):
+    """Random forests over RTP-header features plus flow statistics."""
+
+    feature_names = RTP_FEATURE_NAMES
+
+    def __init__(self, payload_types: PayloadTypeMap, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.payload_types = payload_types
+
+    @classmethod
+    def for_profile(cls, profile: VCAProfile, environment: str = "lab", **kwargs) -> "RTPMLEstimator":
+        from repro.core.resolution import binner_for_vca
+
+        return cls(
+            payload_types=profile.payload_types_for(environment),
+            resolution_binner=binner_for_vca(profile.name),
+            **kwargs,
+        )
+
+    def features_for_window(self, window: WindowedTrace) -> np.ndarray:
+        return extract_rtp_features(window, self.payload_types)

@@ -1,0 +1,202 @@
+"""Feature extraction (Table 1).
+
+Two feature sets are defined:
+
+* **IP/UDP features** (14): per-window flow statistics -- bytes, packets,
+  five packet-size statistics, five inter-arrival statistics -- plus two
+  VCA-semantics features: the number of unique packet sizes and the number of
+  microbursts (runs of packets separated by less than a small inter-arrival
+  threshold).
+* **RTP features** (11, used together with the 12 flow statistics): unique
+  RTP timestamps of the video and retransmission streams plus their
+  intersection and union, the video marker-bit sum, the count of out-of-order
+  video sequence numbers, and five statistics of the per-frame RTP lag
+  (difference between actual and ideal frame arrival times).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.media import MediaClassifier
+from repro.core.windows import WindowedTrace
+from repro.net.packet import Packet
+from repro.net.trace import PacketTrace
+from repro.rtp.header import VIDEO_CLOCK_RATE, sequence_distance
+from repro.rtp.payload_types import PayloadTypeMap
+
+__all__ = [
+    "IPUDP_FEATURE_NAMES",
+    "RTP_FEATURE_NAMES",
+    "FLOW_FEATURE_NAMES",
+    "extract_flow_features",
+    "extract_ipudp_features",
+    "extract_rtp_features",
+    "MICROBURST_IAT_THRESHOLD",
+]
+
+#: Inter-arrival threshold used to delimit microbursts (seconds).  Packets of
+#: a frame leave the sender back to back, so gaps below a few milliseconds
+#: indicate the same burst.
+MICROBURST_IAT_THRESHOLD = 0.003
+
+#: The 12 flow-level statistics shared by both feature sets.
+FLOW_FEATURE_NAMES: tuple[str, ...] = (
+    "# bytes",
+    "# packets",
+    "Size [mean]",
+    "Size [stdev]",
+    "Size [median]",
+    "Size [min]",
+    "Size [max]",
+    "IAT [mean]",
+    "IAT [stdev]",
+    "IAT [median]",
+    "IAT [min]",
+    "IAT [max]",
+)
+
+#: The paper's 14 IP/UDP features: flow statistics + two semantics features.
+IPUDP_FEATURE_NAMES: tuple[str, ...] = FLOW_FEATURE_NAMES + (
+    "# unique sizes",
+    "# microbursts",
+)
+
+#: RTP-derived features used by the RTP ML baseline (plus the flow features).
+RTP_FEATURE_NAMES: tuple[str, ...] = FLOW_FEATURE_NAMES + (
+    "# unique RTPvid TS",
+    "# unique RTPrtx TS",
+    "# unique RTP TS [intersection]",
+    "# unique RTP TS [union]",
+    "Markervid bit sum",
+    "# out-of-order seq",
+    "RTP lag [mean]",
+    "RTP lag [stdev]",
+    "RTP lag [median]",
+    "RTP lag [min]",
+    "RTP lag [max]",
+)
+
+
+def _five_stats(values: np.ndarray) -> list[float]:
+    """Mean, standard deviation, median, minimum, maximum (zeros when empty)."""
+    if values.size == 0:
+        return [0.0, 0.0, 0.0, 0.0, 0.0]
+    return [
+        float(np.mean(values)),
+        float(np.std(values)),
+        float(np.median(values)),
+        float(np.min(values)),
+        float(np.max(values)),
+    ]
+
+
+def _count_microbursts(timestamps: np.ndarray, threshold: float = MICROBURST_IAT_THRESHOLD) -> int:
+    """Number of maximal runs of packets with inter-arrival gaps below ``threshold``."""
+    if timestamps.size == 0:
+        return 0
+    if timestamps.size == 1:
+        return 1
+    gaps = np.diff(np.sort(timestamps))
+    # A new burst starts at the first packet and after every gap >= threshold.
+    return int(1 + np.sum(gaps >= threshold))
+
+
+def extract_flow_features(packets: list[Packet], window_s: float) -> list[float]:
+    """The 12 flow-level statistics for one window."""
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    sizes = np.array([p.payload_size for p in packets], dtype=float)
+    timestamps = np.sort(np.array([p.timestamp for p in packets], dtype=float))
+    iats = np.diff(timestamps) if timestamps.size >= 2 else np.array([], dtype=float)
+    features = [
+        float(sizes.sum()) / window_s,   # bytes per second
+        len(packets) / window_s,         # packets per second
+    ]
+    features.extend(_five_stats(sizes))
+    features.extend(_five_stats(iats))
+    return features
+
+
+def extract_ipudp_features(
+    window: WindowedTrace,
+    classifier: MediaClassifier | None = None,
+    microburst_threshold: float = MICROBURST_IAT_THRESHOLD,
+) -> np.ndarray:
+    """The 14 IP/UDP features of Table 1 for one window.
+
+    The window's packets are first reduced to (predicted) video packets using
+    the size-threshold classifier, as in the paper's pipeline.
+    """
+    classifier = classifier if classifier is not None else MediaClassifier()
+    video_packets = [p for p in window.packets if classifier.is_video(p)]
+    features = extract_flow_features(video_packets, window.duration)
+
+    sizes = np.array([p.payload_size for p in video_packets], dtype=float)
+    timestamps = np.array([p.timestamp for p in video_packets], dtype=float)
+    features.append(float(np.unique(sizes).size))
+    features.append(float(_count_microbursts(timestamps, microburst_threshold)))
+    return np.array(features, dtype=float)
+
+
+def _rtp_lag_stats(video_packets: list[Packet]) -> list[float]:
+    """Five statistics of per-frame transmission lag (Section 3.3).
+
+    The first frame is assumed to have zero delay; for frame *i* the lag is
+    the difference between its reception time and the time predicted by its
+    RTP timestamp advance at the 90 kHz clock.
+    """
+    frames: dict[int, float] = {}
+    for packet in sorted(video_packets, key=lambda p: p.timestamp):
+        assert packet.rtp is not None
+        ts = packet.rtp.timestamp
+        frames.setdefault(ts, packet.timestamp)
+    if len(frames) < 2:
+        return [0.0, 0.0, 0.0, 0.0, 0.0]
+    ordered = sorted(frames.items(), key=lambda item: item[1])
+    ts0, t0 = ordered[0]
+    lags = []
+    for ts, arrival in ordered:
+        expected = t0 + ((ts - ts0) & 0xFFFFFFFF) / VIDEO_CLOCK_RATE
+        # Unwrap negative timestamp distances (reordering across the origin).
+        if ((ts - ts0) & 0xFFFFFFFF) >= 0x80000000:
+            expected = t0 - (0x100000000 - ((ts - ts0) & 0xFFFFFFFF)) / VIDEO_CLOCK_RATE
+        lags.append(arrival - expected)
+    return _five_stats(np.array(lags, dtype=float))
+
+
+def extract_rtp_features(
+    window: WindowedTrace,
+    payload_types: PayloadTypeMap,
+) -> np.ndarray:
+    """The RTP ML feature vector for one window (flow stats + RTP features)."""
+    rtp_packets = [p for p in window.packets if p.rtp is not None]
+    video_packets = [p for p in rtp_packets if p.rtp.payload_type == payload_types.video]
+    rtx_packets = (
+        [p for p in rtp_packets if p.rtp.payload_type == payload_types.video_rtx]
+        if payload_types.video_rtx is not None
+        else []
+    )
+
+    features = extract_flow_features(video_packets, window.duration)
+
+    video_ts = {p.rtp.timestamp for p in video_packets}
+    rtx_ts = {p.rtp.timestamp for p in rtx_packets}
+    features.append(float(len(video_ts)))
+    features.append(float(len(rtx_ts)))
+    features.append(float(len(video_ts & rtx_ts)))
+    features.append(float(len(video_ts | rtx_ts)))
+
+    features.append(float(sum(1 for p in video_packets if p.rtp.marker)))
+
+    # Out-of-order video sequence numbers: count of adjacent (arrival-ordered)
+    # packets whose sequence number does not advance by exactly one.
+    ordered = sorted(video_packets, key=lambda p: p.timestamp)
+    out_of_order = 0
+    for previous, current in zip(ordered, ordered[1:]):
+        if sequence_distance(previous.rtp.sequence_number, current.rtp.sequence_number) != 1:
+            out_of_order += 1
+    features.append(float(out_of_order))
+
+    features.extend(_rtp_lag_stats(video_packets))
+    return np.array(features, dtype=float)

@@ -1,0 +1,164 @@
+"""End-to-end QoE estimation pipeline (the library's main public API).
+
+A :class:`QoEPipeline` is what a network operator would deploy: point it at a
+packet trace of a VCA session (pcap file or :class:`~repro.net.trace.PacketTrace`)
+and get per-second QoE estimates back.  The pipeline combines the trained
+IP/UDP ML models with the IP/UDP heuristic (used as a fallback when no model
+has been trained for a metric) and never looks at RTP headers or ground-truth
+annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.estimators import IPUDPMLEstimator, REGRESSION_METRICS
+from repro.core.heuristic import IPUDPHeuristic
+from repro.core.windows import match_windows_to_ground_truth, window_trace
+from repro.net.trace import PacketTrace
+from repro.webrtc.profiles import VCAProfile, get_profile
+from repro.webrtc.session import CallResult
+
+__all__ = ["PipelineEstimate", "QoEPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineEstimate:
+    """Per-window QoE estimate emitted by the pipeline."""
+
+    window_start: float
+    frame_rate: float
+    bitrate_kbps: float
+    frame_jitter_ms: float
+    resolution: str | None
+    source: str  # "ml" or "heuristic"
+
+
+class QoEPipeline:
+    """Estimate per-second VCA QoE from IP/UDP headers only.
+
+    Typical use::
+
+        pipeline = QoEPipeline.for_vca("teams")
+        pipeline.train(calls)                # calls: list[CallResult] (lab data)
+        estimates = pipeline.estimate(trace) # trace: PacketTrace or pcap path
+
+    Without training, the pipeline falls back to the IP/UDP heuristic for
+    frame rate, bitrate and frame jitter and reports no resolution estimate.
+    """
+
+    def __init__(self, profile: VCAProfile, window_s: int = 1) -> None:
+        if window_s < 1:
+            raise ValueError("window_s must be >= 1")
+        self.profile = profile
+        self.window_s = window_s
+        self.heuristic = IPUDPHeuristic.for_profile(profile)
+        self.ml = IPUDPMLEstimator.for_profile(profile)
+        self._trained = False
+
+    @classmethod
+    def for_vca(cls, vca: str, window_s: int = 1) -> "QoEPipeline":
+        return cls(get_profile(vca), window_s=window_s)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._trained
+
+    # -- training ----------------------------------------------------------------
+
+    def train(self, calls: list[CallResult]) -> "QoEPipeline":
+        """Train the per-metric random forests from labelled calls.
+
+        The calls provide both traces and ground-truth logs (the labelled data
+        a lab-style collection framework produces); only IP/UDP features are
+        used for the models themselves.
+        """
+        if not calls:
+            raise ValueError("need at least one labelled call to train")
+        from repro.core.resolution import binner_for_vca
+
+        binner = binner_for_vca(self.profile.name)
+        feature_rows: list[np.ndarray] = []
+        targets: dict[str, list] = {metric: [] for metric in REGRESSION_METRICS}
+        resolution_targets: list[str] = []
+        for call in calls:
+            if call.vca != self.profile.name:
+                raise ValueError(
+                    f"call {call.config.call_id} is for VCA {call.vca!r}, "
+                    f"pipeline is for {self.profile.name!r}"
+                )
+            matched = match_windows_to_ground_truth(
+                call.trace, call.ground_truth, window_s=self.window_s
+            )
+            for sample in matched:
+                feature_rows.append(self.ml.features_for_window(sample.window))
+                targets["frame_rate"].append(sample.ground_truth.frames_received)
+                targets["bitrate"].append(sample.ground_truth.bitrate_kbps)
+                targets["frame_jitter"].append(sample.ground_truth.frame_jitter_ms)
+                resolution_targets.append(binner.label(sample.ground_truth.frame_height))
+
+        if not feature_rows:
+            raise ValueError("the provided calls produced no training windows")
+        X = np.vstack(feature_rows)
+        fit_targets = {metric: np.array(values) for metric, values in targets.items()}
+        fit_targets["resolution"] = np.array(resolution_targets)
+        self.ml.fit(X, fit_targets)
+        self._trained = True
+        return self
+
+    # -- estimation ----------------------------------------------------------------
+
+    def _load_trace(self, trace: PacketTrace | str | Path) -> PacketTrace:
+        if isinstance(trace, (str, Path)):
+            return PacketTrace.from_pcap(trace, vca=self.profile.name)
+        return trace
+
+    def estimate(self, trace: PacketTrace | str | Path) -> list[PipelineEstimate]:
+        """Per-window QoE estimates for a session trace.
+
+        The trace is consumed exactly as an IP/UDP monitor would see it: RTP
+        headers and ground-truth annotations, if present, are stripped first.
+        """
+        packet_trace = self._load_trace(trace).without_ground_truth().without_rtp()
+        windows = window_trace(packet_trace, window_s=float(self.window_s), start=0.0)
+        if not windows:
+            return []
+
+        heuristic_estimates = self.heuristic.estimate_trace(
+            packet_trace, window_s=float(self.window_s), start=0.0
+        )
+
+        if self._trained:
+            ml_rows = self.ml.predict_windows(windows)
+            estimates = []
+            for row in ml_rows:
+                estimates.append(
+                    PipelineEstimate(
+                        window_start=row.window_start,
+                        frame_rate=row.frame_rate,
+                        bitrate_kbps=row.bitrate_kbps,
+                        frame_jitter_ms=row.frame_jitter_ms,
+                        resolution=row.resolution,
+                        source="ml",
+                    )
+                )
+            return estimates
+
+        return [
+            PipelineEstimate(
+                window_start=est.window_start,
+                frame_rate=est.frame_rate,
+                bitrate_kbps=est.bitrate_kbps,
+                frame_jitter_ms=est.frame_jitter_ms,
+                resolution=None,
+                source="heuristic",
+            )
+            for est in heuristic_estimates
+        ]
+
+    def estimate_call(self, call: CallResult) -> list[PipelineEstimate]:
+        """Convenience wrapper estimating a simulated call's trace."""
+        return self.estimate(call.trace)

@@ -1,0 +1,78 @@
+"""Resolution targets and binning (Section 5.1.5).
+
+Resolution is estimated as a classification problem over frame heights.  For
+VCAs with few distinct heights (Meet, Webex) each height is its own class;
+for Teams, whose ladder has 11 distinct heights, the paper bins heights into
+``low`` (<= 240), ``medium`` ((240, 480]) and ``high`` (> 480).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ResolutionBin", "ResolutionBinner", "TEAMS_RESOLUTION_BINS", "binner_for_vca"]
+
+
+@dataclass(frozen=True)
+class ResolutionBin:
+    """One resolution class: a label and its (lower, upper] height bounds."""
+
+    label: str
+    lower: float
+    upper: float
+
+    def contains(self, height: float) -> bool:
+        return self.lower < height <= self.upper
+
+
+#: The paper's Teams bins: low (<=240), medium ((240, 480]), high (>480).
+#: The low bin's lower bound is -1 so that windows with an unknown height
+#: (reported as 0 before the first frame decodes) fall into "low".
+TEAMS_RESOLUTION_BINS: tuple[ResolutionBin, ...] = (
+    ResolutionBin("low", -1.0, 240.0),
+    ResolutionBin("medium", 240.0, 480.0),
+    ResolutionBin("high", 480.0, float("inf")),
+)
+
+
+class ResolutionBinner:
+    """Maps frame heights to classification targets.
+
+    With ``bins=None`` every distinct height is its own class (per-value
+    classification, as for Meet and Webex); otherwise heights are mapped to
+    the bin labels.
+    """
+
+    def __init__(self, bins: tuple[ResolutionBin, ...] | None = None) -> None:
+        self.bins = bins
+
+    def label(self, height: float) -> str:
+        """Class label for a single frame height."""
+        if height < 0:
+            raise ValueError("height must be non-negative")
+        if self.bins is None:
+            return str(int(height))
+        for bin_ in self.bins:
+            if bin_.contains(height):
+                return bin_.label
+        raise ValueError(f"height {height} does not fall in any resolution bin")
+
+    def labels(self, heights) -> np.ndarray:
+        """Vectorised :meth:`label`."""
+        return np.array([self.label(h) for h in np.asarray(heights, dtype=float)])
+
+    @property
+    def class_names(self) -> list[str] | None:
+        """Ordered class names when binning is active, else ``None``."""
+        if self.bins is None:
+            return None
+        return [b.label for b in self.bins]
+
+
+def binner_for_vca(vca: str) -> ResolutionBinner:
+    """The binner used for each VCA in the paper's evaluation."""
+    if vca.lower() == "teams":
+        return ResolutionBinner(TEAMS_RESOLUTION_BINS)
+    return ResolutionBinner(None)

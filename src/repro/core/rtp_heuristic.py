@@ -1,0 +1,80 @@
+"""RTP Heuristic baseline (Section 3.3).
+
+Frame boundaries are read directly from RTP headers: all packets of a frame
+share the same RTP timestamp, and the marker bit flags the final packet of
+each frame.  QoE metrics are then derived from the recovered frames exactly
+as for the IP/UDP heuristic.  Media classification also uses RTP ground
+truth: only packets of the video payload type (excluding retransmissions)
+are considered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.heuristic import HeuristicEstimate, estimates_from_frames
+from repro.core.frame_assembly import AssembledFrame
+from repro.net.packet import Packet
+from repro.net.trace import PacketTrace
+from repro.rtp.payload_types import PayloadTypeMap
+from repro.webrtc.profiles import VCAProfile
+
+__all__ = ["RTPHeuristic"]
+
+
+class RTPHeuristic:
+    """Frame-based QoE estimation using RTP timestamps and marker bits."""
+
+    def __init__(self, video_payload_type: int) -> None:
+        self.video_payload_type = video_payload_type
+
+    @classmethod
+    def for_profile(cls, profile: VCAProfile, environment: str = "lab") -> "RTPHeuristic":
+        payload_types = profile.payload_types_for(environment)
+        return cls(video_payload_type=payload_types.video)
+
+    @classmethod
+    def for_payload_map(cls, payload_types: PayloadTypeMap) -> "RTPHeuristic":
+        return cls(video_payload_type=payload_types.video)
+
+    def video_packets(self, trace: PacketTrace) -> list[Packet]:
+        """Packets of the video payload type (RTP header required)."""
+        return [
+            p
+            for p in trace
+            if p.rtp is not None and p.rtp.payload_type == self.video_payload_type
+        ]
+
+    def assemble(self, trace: PacketTrace) -> list[AssembledFrame]:
+        """Group video packets into frames by RTP timestamp."""
+        frames_by_timestamp: dict[int, AssembledFrame] = {}
+        order: list[int] = []
+        for packet in sorted(self.video_packets(trace), key=lambda p: p.timestamp):
+            assert packet.rtp is not None
+            ts = packet.rtp.timestamp
+            frame = frames_by_timestamp.get(ts)
+            if frame is None:
+                frame = AssembledFrame(frame_index=len(order))
+                frames_by_timestamp[ts] = frame
+                order.append(ts)
+            frame.add(packet)
+        return [frames_by_timestamp[ts] for ts in order]
+
+    def estimate_window(self, window) -> HeuristicEstimate:
+        frames = self.assemble(window.packets)
+        return estimates_from_frames(frames, window.start, window.duration)
+
+    def estimate_trace(
+        self, trace: PacketTrace, window_s: float = 1.0, start: float = 0.0, end: float | None = None
+    ) -> list[HeuristicEstimate]:
+        if end is None:
+            end = trace.end_time
+        frames = self.assemble(trace)
+        estimates = []
+        t = start
+        while t < end:
+            estimates.append(estimates_from_frames(frames, t, window_s))
+            t += window_s
+        return estimates

@@ -1,0 +1,98 @@
+"""Prediction-window handling (Section 2.2 and 4.1).
+
+The estimators operate over windows of ``W`` seconds (1 s by default).  This
+module slices a trace into windows aligned with the per-second ground-truth
+log and pairs each window with the matching ground-truth row, reproducing the
+timestamp-based matching the paper performs between packet captures and
+``webrtc-internals`` logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.trace import PacketTrace
+from repro.webrtc.stats import GroundTruthLog, PerSecondStats
+
+__all__ = ["WindowedTrace", "window_trace", "match_windows_to_ground_truth", "MatchedWindow"]
+
+
+@dataclass(frozen=True)
+class WindowedTrace:
+    """One prediction window: its start time, duration, and packets."""
+
+    start: float
+    duration: float
+    packets: PacketTrace
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+
+@dataclass(frozen=True)
+class MatchedWindow:
+    """A prediction window paired with its ground-truth row(s)."""
+
+    window: WindowedTrace
+    ground_truth: PerSecondStats
+
+
+def window_trace(trace: PacketTrace, window_s: float = 1.0, start: float = 0.0, end: float | None = None) -> list[WindowedTrace]:
+    """Slice ``trace`` into consecutive windows of ``window_s`` seconds.
+
+    Windows are aligned to ``start`` (call time zero), not to the first packet,
+    so window *k* corresponds to ground-truth second *k*.  Empty windows are
+    included.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if end is None:
+        end = trace.end_time
+    windows: list[WindowedTrace] = []
+    t = start
+    while t < end:
+        windows.append(
+            WindowedTrace(start=t, duration=window_s, packets=trace.time_slice(t, t + window_s))
+        )
+        t += window_s
+    return windows
+
+
+def match_windows_to_ground_truth(
+    trace: PacketTrace,
+    ground_truth: GroundTruthLog,
+    window_s: int = 1,
+    skip_leading_s: int = 2,
+    skip_trailing_s: int = 1,
+) -> list[MatchedWindow]:
+    """Pair per-window packet slices with ground-truth rows.
+
+    ``window_s`` must be an integer number of seconds so the per-second
+    ground-truth rows can be aggregated onto the same grid (the Figure 12
+    sweep varies this from 1 to 10 seconds).  The first couple of seconds
+    (call setup, handshake, encoder ramp-up) and the trailing second are
+    dropped, mirroring the paper's filtering of ill-aligned log rows.
+    """
+    if window_s < 1:
+        raise ValueError("window_s must be >= 1")
+    aggregated = ground_truth.aggregate(window_s)
+    matched: list[MatchedWindow] = []
+    for row in aggregated:
+        window_start = row.second * window_s
+        if window_start < skip_leading_s:
+            continue
+        if window_start + window_s > len(ground_truth) - skip_trailing_s:
+            continue
+        window = WindowedTrace(
+            start=float(window_start),
+            duration=float(window_s),
+            packets=trace.time_slice(float(window_start), float(window_start + window_s)),
+        )
+        matched.append(MatchedWindow(window=window, ground_truth=row))
+    return matched

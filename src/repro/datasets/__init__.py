@@ -1,0 +1,35 @@
+"""Dataset builders: the offline substitute for the paper's data collection.
+
+The paper evaluates on three datasets:
+
+* **in-lab** -- calls between two lab machines under emulated conditions
+  replayed from M-Lab NDT speed tests (Section 4.2);
+* **real-world** -- short calls initiated every 30 minutes from Raspberry Pis
+  in 15 households over two weeks (Section 4.2);
+* **synthetic sweeps** -- controlled single-parameter impairments
+  (Section 5.4, Table A.6).
+
+Each builder here produces lists of :class:`~repro.webrtc.session.CallResult`
+objects with the corresponding condition generators, at a configurable scale
+(the defaults are sized for CI; pass larger counts to approach the paper's
+54,696 seconds of data).
+"""
+
+from repro.datasets.collection import CollectionConfig, collect_call, collect_calls
+from repro.datasets.lab import LabDatasetConfig, build_lab_dataset
+from repro.datasets.realworld import Household, RealWorldConfig, build_real_world_dataset, default_households
+from repro.datasets.synthetic import SweepConfig, build_impairment_sweep
+
+__all__ = [
+    "CollectionConfig",
+    "collect_call",
+    "collect_calls",
+    "LabDatasetConfig",
+    "build_lab_dataset",
+    "Household",
+    "RealWorldConfig",
+    "build_real_world_dataset",
+    "default_households",
+    "SweepConfig",
+    "build_impairment_sweep",
+]

@@ -1,0 +1,151 @@
+"""Call collection: run simulated calls and optionally persist their artefacts.
+
+This is the substitute for the paper's browser-automation framework
+(PyAutoGUI + tcpdump + webrtc-internals export): each "collected" call yields
+a packet capture and a ground-truth log.  Captures can be written to real
+pcap files so the rest of the pipeline can operate on on-disk artefacts, just
+as the released dataset does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.netem.conditions import ConditionSchedule
+from repro.webrtc.session import CallResult, SessionConfig, simulate_call
+from repro.webrtc.stats import GroundTruthLog
+
+__all__ = ["CollectionConfig", "collect_call", "collect_calls", "export_call", "load_ground_truth_json"]
+
+
+@dataclass(frozen=True)
+class CollectionConfig:
+    """How to run one batch of calls."""
+
+    vca: str
+    n_calls: int
+    duration_s: int = 30
+    environment: str = "lab"
+    seed: int = 0
+    output_dir: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_calls < 1:
+            raise ValueError("n_calls must be >= 1")
+
+
+def collect_call(
+    vca: str,
+    schedule: ConditionSchedule,
+    duration_s: int = 30,
+    environment: str = "lab",
+    seed: int | None = None,
+    call_id: str = "call-0",
+    output_dir: Path | None = None,
+) -> CallResult:
+    """Run one call and optionally export its pcap + ground-truth JSON."""
+    config = SessionConfig(
+        vca=vca,
+        duration_s=duration_s,
+        environment=environment,
+        seed=seed,
+        call_id=call_id,
+    )
+    result = simulate_call(config, schedule)
+    if output_dir is not None:
+        export_call(result, output_dir)
+    return result
+
+
+def collect_calls(
+    config: CollectionConfig,
+    schedule_factory,
+) -> list[CallResult]:
+    """Run ``config.n_calls`` calls, one schedule per call.
+
+    ``schedule_factory(call_index, rng)`` must return the
+    :class:`ConditionSchedule` for each call.
+    """
+    rng = np.random.default_rng(config.seed)
+    results = []
+    for index in range(config.n_calls):
+        schedule = schedule_factory(index, rng)
+        call_seed = int(rng.integers(0, 2**31 - 1))
+        results.append(
+            collect_call(
+                vca=config.vca,
+                schedule=schedule,
+                duration_s=config.duration_s,
+                environment=config.environment,
+                seed=call_seed,
+                call_id=f"{config.vca}-{config.environment}-{index:04d}",
+                output_dir=config.output_dir,
+            )
+        )
+    return results
+
+
+def export_call(result: CallResult, output_dir: Path | str) -> tuple[Path, Path]:
+    """Write a call's pcap and ground-truth JSON under ``output_dir``.
+
+    Returns the ``(pcap_path, json_path)`` pair.  Endpoint addresses are
+    hashed, as in the released dataset (Statement of Ethics).
+    """
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    call_id = result.config.call_id
+    pcap_path = output_dir / f"{call_id}.pcap"
+    json_path = output_dir / f"{call_id}.json"
+
+    anonymized = [p.anonymized() for p in result.trace]
+    from repro.net.pcap import write_pcap
+
+    write_pcap(pcap_path, anonymized)
+
+    payload = {
+        "vca": result.vca,
+        "call_id": call_id,
+        "environment": result.config.environment,
+        "duration_s": result.config.duration_s,
+        "rows": [
+            {
+                "second": row.second,
+                "frames_received": row.frames_received,
+                "bitrate_kbps": row.bitrate_kbps,
+                "frame_jitter_ms": row.frame_jitter_ms,
+                "frame_height": row.frame_height,
+            }
+            for row in result.ground_truth
+        ],
+        "metadata": {
+            key: value
+            for key, value in result.ground_truth.metadata.items()
+            if isinstance(value, (int, float, str, bool)) or value is None
+        },
+    }
+    json_path.write_text(json.dumps(payload, indent=2))
+    return pcap_path, json_path
+
+
+def load_ground_truth_json(path: Path | str) -> GroundTruthLog:
+    """Load a ground-truth log exported by :func:`export_call`."""
+    from repro.webrtc.stats import PerSecondStats
+
+    payload = json.loads(Path(path).read_text())
+    log = GroundTruthLog(vca=payload["vca"], call_id=payload["call_id"])
+    log.metadata.update(payload.get("metadata", {}))
+    for row in payload["rows"]:
+        log.append(
+            PerSecondStats(
+                second=int(row["second"]),
+                frames_received=float(row["frames_received"]),
+                bitrate_kbps=float(row["bitrate_kbps"]),
+                frame_jitter_ms=float(row["frame_jitter_ms"]),
+                frame_height=int(row["frame_height"]),
+            )
+        )
+    return log

@@ -1,0 +1,158 @@
+"""Real-world dataset builder (Section 4.2).
+
+The paper's real-world data comes from Raspberry Pis in 15 households across
+different ISPs and speed tiers, each initiating a 15-25 second call every 30
+minutes over two weeks (320 Meet, 178 Teams and 417 Webex calls).  Compared
+with the stressed in-lab conditions, real-world access networks are faster
+and more stable, with a small tail of bad calls -- which is why the paper's
+ground-truth QoE is higher (Figure A.2) and the errors smaller (Figure 10),
+and why lab-trained Meet models transfer poorly (unseen high-bitrate regime,
+Section 5.3).
+
+The builder models each household as an access link with a speed tier, a
+baseline RTT, diurnal cross-traffic load and occasional WiFi degradation, and
+draws calls from the household mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.collection import collect_call
+from repro.netem.conditions import ConditionSchedule, NetworkCondition
+from repro.webrtc.profiles import VCA_NAMES
+from repro.webrtc.session import CallResult
+
+__all__ = ["Household", "RealWorldConfig", "default_households", "build_real_world_dataset", "PAPER_CALL_COUNTS"]
+
+#: Number of calls per VCA in the paper's real-world dataset.
+PAPER_CALL_COUNTS: dict[str, int] = {"meet": 320, "teams": 178, "webex": 417}
+
+#: ISP speed tiers (download kbps) sampled for the 15 households.
+SPEED_TIERS_KBPS: tuple[float, ...] = (5_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0)
+
+
+@dataclass(frozen=True)
+class Household:
+    """One deployment household: its access link characteristics."""
+
+    household_id: str
+    isp: str
+    speed_tier_kbps: float
+    base_rtt_ms: float
+    wifi_quality: float  # 0 (poor) .. 1 (excellent)
+
+    def __post_init__(self) -> None:
+        if self.speed_tier_kbps <= 0:
+            raise ValueError("speed_tier_kbps must be positive")
+        if not 0.0 <= self.wifi_quality <= 1.0:
+            raise ValueError("wifi_quality must be in [0, 1]")
+
+    def call_schedule(self, duration_s: int, rng: np.random.Generator) -> ConditionSchedule:
+        """Network conditions for one call from this household.
+
+        The effective throughput is the speed tier scaled down by concurrent
+        cross-traffic (diurnal) and WiFi quality; jitter and loss grow as WiFi
+        quality drops; a small fraction of calls hit a congested period.
+        """
+        cross_traffic = rng.uniform(0.05, 0.45)
+        congested = rng.random() < 0.08
+        effective = self.speed_tier_kbps * (1.0 - cross_traffic)
+        if congested:
+            effective *= rng.uniform(0.05, 0.3)
+        effective = max(300.0, effective)
+
+        wifi_penalty = 1.0 - self.wifi_quality
+        base_jitter = 1.0 + 12.0 * wifi_penalty
+        base_loss = 0.002 * wifi_penalty + (0.01 if congested else 0.0)
+
+        conditions = []
+        for _ in range(max(1, duration_s)):
+            throughput = float(np.clip(rng.normal(effective, 0.08 * effective), 200.0, 200_000.0))
+            conditions.append(
+                NetworkCondition(
+                    throughput_kbps=throughput,
+                    delay_ms=self.base_rtt_ms / 2.0 + abs(rng.normal(0.0, 2.0)),
+                    jitter_ms=float(np.clip(rng.normal(base_jitter, 1.0), 0.0, 60.0)),
+                    loss_rate=float(np.clip(rng.normal(base_loss, base_loss / 2 + 1e-4), 0.0, 0.2)),
+                )
+            )
+        return ConditionSchedule(conditions, interval=1.0)
+
+
+def default_households(n_households: int = 15, seed: int = 11) -> list[Household]:
+    """The 15-household deployment mix (different ISPs and speed tiers)."""
+    if n_households < 1:
+        raise ValueError("n_households must be >= 1")
+    rng = np.random.default_rng(seed)
+    isps = ("isp-a", "isp-b", "isp-c", "isp-d")
+    households = []
+    for index in range(n_households):
+        households.append(
+            Household(
+                household_id=f"home-{index:02d}",
+                isp=isps[index % len(isps)],
+                speed_tier_kbps=float(rng.choice(SPEED_TIERS_KBPS)),
+                base_rtt_ms=float(rng.uniform(10.0, 45.0)),
+                wifi_quality=float(rng.uniform(0.55, 1.0)),
+            )
+        )
+    return households
+
+
+@dataclass(frozen=True)
+class RealWorldConfig:
+    """Scale of the generated real-world dataset."""
+
+    calls_per_vca: int = 8
+    min_call_duration_s: int = 15
+    max_call_duration_s: int = 25
+    vcas: tuple[str, ...] = VCA_NAMES
+    n_households: int = 15
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.calls_per_vca < 1:
+            raise ValueError("calls_per_vca must be >= 1")
+        if not 5 <= self.min_call_duration_s <= self.max_call_duration_s:
+            raise ValueError("invalid call duration bounds")
+
+
+def build_real_world_dataset(
+    config: RealWorldConfig | None = None,
+    households: list[Household] | None = None,
+) -> dict[str, list[CallResult]]:
+    """Simulate the real-world dataset; returns ``{vca: [CallResult, ...]}``.
+
+    Every call picks a household uniformly at random (as the RPis' 30-minute
+    schedule effectively does over two weeks) and a duration in the paper's
+    15-25 second range.
+    """
+    config = config if config is not None else RealWorldConfig()
+    if households is None:
+        households = default_households(config.n_households, seed=config.seed)
+    rng = np.random.default_rng(config.seed)
+
+    dataset: dict[str, list[CallResult]] = {}
+    for vca in config.vcas:
+        vca = vca.lower()
+        calls: list[CallResult] = []
+        for index in range(config.calls_per_vca):
+            household = households[int(rng.integers(0, len(households)))]
+            duration = int(rng.integers(config.min_call_duration_s, config.max_call_duration_s + 1))
+            schedule = household.call_schedule(duration, rng)
+            call = collect_call(
+                vca=vca,
+                schedule=schedule,
+                duration_s=duration,
+                environment="real_world",
+                seed=int(rng.integers(0, 2**31 - 1)),
+                call_id=f"{vca}-rw-{household.household_id}-{index:04d}",
+            )
+            call.ground_truth.metadata["household"] = household.household_id
+            call.ground_truth.metadata["isp"] = household.isp
+            calls.append(call)
+        dataset[vca] = calls
+    return dataset

@@ -1,0 +1,78 @@
+"""Synthetic single-parameter impairment sweeps (Section 5.4, Table A.6).
+
+Each sweep varies exactly one network parameter while holding the others at
+their defaults, with four calls per parameter value.  The paper uses these
+datasets to characterise how estimation errors respond to loss, latency,
+jitter and throughput variation (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.collection import collect_call
+from repro.netem.impairments import IMPAIRMENT_PROFILES, ImpairmentProfile, impairment_schedules
+from repro.webrtc.profiles import VCA_NAMES
+from repro.webrtc.session import CallResult
+
+__all__ = ["SweepConfig", "build_impairment_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Which impairment to sweep and at what scale."""
+
+    profile_name: str = "packet_loss"
+    calls_per_value: int = 4
+    call_duration_s: int = 20
+    vcas: tuple[str, ...] = VCA_NAMES
+    seed: int = 31
+    values: tuple[float, ...] | None = None  # default: the profile's values
+
+    def __post_init__(self) -> None:
+        if self.profile_name not in IMPAIRMENT_PROFILES:
+            raise ValueError(
+                f"unknown impairment profile {self.profile_name!r}; "
+                f"known: {sorted(IMPAIRMENT_PROFILES)}"
+            )
+        if self.calls_per_value < 1:
+            raise ValueError("calls_per_value must be >= 1")
+
+    @property
+    def profile(self) -> ImpairmentProfile:
+        return IMPAIRMENT_PROFILES[self.profile_name]
+
+    @property
+    def swept_values(self) -> tuple[float, ...]:
+        return self.values if self.values is not None else self.profile.values
+
+
+def build_impairment_sweep(config: SweepConfig | None = None) -> dict[str, dict[float, list[CallResult]]]:
+    """Run the sweep; returns ``{vca: {value: [CallResult, ...]}}``."""
+    config = config if config is not None else SweepConfig()
+    rng = np.random.default_rng(config.seed)
+    profile = config.profile
+
+    result: dict[str, dict[float, list[CallResult]]] = {}
+    for vca in config.vcas:
+        vca = vca.lower()
+        per_value: dict[float, list[CallResult]] = {}
+        for value in config.swept_values:
+            calls = []
+            for call_index in range(config.calls_per_value):
+                schedule = impairment_schedules(profile, value, config.call_duration_s, rng=rng)
+                calls.append(
+                    collect_call(
+                        vca=vca,
+                        schedule=schedule,
+                        duration_s=config.call_duration_s,
+                        environment="lab",
+                        seed=int(rng.integers(0, 2**31 - 1)),
+                        call_id=f"{vca}-{config.profile_name}-{value:g}-{call_index}",
+                    )
+                )
+            per_value[value] = calls
+        result[vca] = per_value
+    return result

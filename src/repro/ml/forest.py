@@ -1,0 +1,152 @@
+"""Random forests built on the CART trees in :mod:`repro.ml.tree`.
+
+The paper uses random forests for all ML-based QoE estimators ("we present
+the results obtained using only random forests, as they consistently yield
+the highest accuracy", Section 4.3) and relies on impurity-based feature
+importances for the analysis in Section 5.  Both regressors and classifiers
+are provided; the classifier additionally exposes class probabilities which
+the resolution-confusion analysis uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor", "RandomForestClassifier"]
+
+
+class _BaseForest:
+    """Shared bootstrap / aggregation machinery for the two forests."""
+
+    tree_class: type
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.estimators_: list = []
+        self.feature_importances_: np.ndarray | None = None
+        self.n_features_: int = 0
+
+    def _make_tree(self, seed: int):
+        return self.tree_class(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=seed,
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_BaseForest":
+        """Fit ``n_estimators`` trees on bootstrap resamples of ``(X, y)``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError(
+                f"X and y have inconsistent lengths: {len(X)} vs {len(y)}"
+            )
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_features_ = X.shape[1]
+        self._prepare_targets(y)
+
+        rng = np.random.default_rng(self.random_state)
+        self.estimators_ = []
+        importances = np.zeros(self.n_features_)
+        n = len(X)
+        for _ in range(self.n_estimators):
+            seed = int(rng.integers(0, 2**31 - 1))
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree = self._make_tree(seed)
+            tree.fit(X[idx], y[idx])
+            self.estimators_.append(tree)
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else np.zeros(self.n_features_)
+        )
+        return self
+
+    def _prepare_targets(self, y: np.ndarray) -> None:
+        """Hook used by the classifier to record the label set."""
+
+    def _check_fitted(self) -> None:
+        if not self.estimators_:
+            raise RuntimeError(
+                f"{type(self).__name__} instance is not fitted; call fit() first"
+            )
+
+
+class RandomForestRegressor(_BaseForest):
+    """Bagged ensemble of CART regression trees (mean aggregation)."""
+
+    tree_class = DecisionTreeRegressor
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict the per-sample mean of the individual tree predictions."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        predictions = np.vstack([tree.predict(X) for tree in self.estimators_])
+        return predictions.mean(axis=0)
+
+
+class RandomForestClassifier(_BaseForest):
+    """Bagged ensemble of CART classification trees (soft-vote aggregation)."""
+
+    tree_class = DecisionTreeClassifier
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.classes_: np.ndarray | None = None
+
+    def _prepare_targets(self, y: np.ndarray) -> None:
+        self.classes_ = np.unique(y)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average class-probability estimates across the ensemble.
+
+        Trees fitted on bootstrap samples may not have seen every class, so
+        per-tree probabilities are re-aligned onto the forest-level class set
+        before averaging.
+        """
+        self._check_fitted()
+        assert self.classes_ is not None
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        class_pos = {c: i for i, c in enumerate(self.classes_)}
+        proba = np.zeros((len(X), len(self.classes_)))
+        for tree in self.estimators_:
+            tree_proba = tree.predict_proba(X)
+            for j, cls in enumerate(tree.classes_):
+                proba[:, class_pos[cls]] += tree_proba[:, j]
+        proba /= len(self.estimators_)
+        return proba
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict the class with the highest averaged probability."""
+        proba = self.predict_proba(X)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,94 @@
+"""Linear models: ordinary least squares and ridge regression.
+
+These are not used by the paper's headline results (random forests win) but
+serve as sanity-check baselines in the ablation benchmarks and as cheap
+regressors in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearRegression", "RidgeRegression"]
+
+
+class LinearRegression:
+    """Ordinary least squares fitted via the normal equations (lstsq)."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError("X and y have inconsistent lengths")
+        if self.fit_intercept:
+            design = np.hstack([np.ones((len(X), 1)), X])
+        else:
+            design = X
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("LinearRegression is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression:
+    """L2-regularised least squares (closed form)."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError("X and y have inconsistent lengths")
+
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            x_centered = X - x_mean
+            y_centered = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            x_centered = X
+            y_centered = y
+
+        n_features = X.shape[1]
+        gram = x_centered.T @ x_centered + self.alpha * np.eye(n_features)
+        self.coef_ = np.linalg.solve(gram, x_centered.T @ y_centered)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_) if self.fit_intercept else 0.0
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("RidgeRegression is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,81 @@
+"""k-nearest-neighbour regressors/classifiers.
+
+Used as additional classical baselines in the ablation benchmarks (the paper
+mentions experimenting with "several classical supervised ML models").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KNeighborsRegressor", "KNeighborsClassifier"]
+
+
+class _BaseKNN:
+    def __init__(self, n_neighbors: int = 5) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_BaseKNN":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError("X and y have inconsistent lengths")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._X = X
+        self._y = y
+        return self
+
+    def _neighbor_indices(self, X: np.ndarray) -> np.ndarray:
+        assert self._X is not None
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        # Squared euclidean distances, (n_query, n_train).
+        d2 = (
+            np.sum(X**2, axis=1)[:, None]
+            - 2.0 * X @ self._X.T
+            + np.sum(self._X**2, axis=1)[None, :]
+        )
+        k = min(self.n_neighbors, len(self._X))
+        return np.argsort(d2, axis=1)[:, :k]
+
+    def _check_fitted(self) -> None:
+        if self._X is None:
+            raise RuntimeError(
+                f"{type(self).__name__} instance is not fitted; call fit() first"
+            )
+
+
+class KNeighborsRegressor(_BaseKNN):
+    """Mean of the targets of the k nearest training samples."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        assert self._y is not None
+        idx = self._neighbor_indices(X)
+        return self._y[idx].astype(float).mean(axis=1)
+
+
+class KNeighborsClassifier(_BaseKNN):
+    """Majority vote of the labels of the k nearest training samples."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        assert self._y is not None
+        idx = self._neighbor_indices(X)
+        classes = np.unique(self._y)
+        class_pos = {c: i for i, c in enumerate(classes)}
+        predictions = []
+        for row in idx:
+            counts = np.zeros(len(classes), dtype=int)
+            for label in self._y[row]:
+                counts[class_pos[label]] += 1
+            predictions.append(classes[int(np.argmax(counts))])
+        return np.array(predictions)

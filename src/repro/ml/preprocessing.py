@@ -1,0 +1,76 @@
+"""Feature preprocessing helpers: standard scaling and label encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "LabelEncoder"]
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance.
+
+    Constant features (zero variance) are left centred but unscaled so they do
+    not blow up to NaN.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+        if len(X) == 0:
+            raise ValueError("cannot fit a scaler on an empty dataset")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        return X * self.scale_ + self.mean_
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to contiguous integers and back."""
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, y) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder is not fitted; call fit() first")
+        index = {label: i for i, label in enumerate(self.classes_)}
+        try:
+            return np.array([index[v] for v in np.asarray(y)], dtype=int)
+        except KeyError as exc:
+            raise ValueError(f"unseen label during transform: {exc.args[0]!r}") from exc
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, encoded) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder is not fitted; call fit() first")
+        encoded = np.asarray(encoded, dtype=int)
+        if encoded.size and (encoded.min() < 0 or encoded.max() >= len(self.classes_)):
+            raise ValueError("encoded labels out of range")
+        return self.classes_[encoded]

@@ -1,0 +1,41 @@
+"""Packet substrate: packet dataclasses, binary header codecs, pcap I/O,
+trace containers and flow utilities.
+
+This package plays the role that ``scapy``/``tcpdump`` play for the paper's
+data collection pipeline: everything downstream (media classification,
+feature extraction, the heuristics) consumes :class:`repro.net.trace.PacketTrace`
+objects holding timestamped :class:`repro.net.packet.Packet` records, and
+traces can be persisted to / loaded from standard libpcap files.
+"""
+
+from repro.net.flows import FlowKey, FlowTable, five_tuple
+from repro.net.headers import (
+    ETHERNET_HEADER_LEN,
+    IPV4_HEADER_MIN_LEN,
+    UDP_HEADER_LEN,
+    decode_ethernet_ipv4_udp,
+    encode_ethernet_ipv4_udp,
+)
+from repro.net.packet import IPv4Header, Packet, UDPHeader
+from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.net.trace import PacketTrace, TraceStats
+
+__all__ = [
+    "Packet",
+    "IPv4Header",
+    "UDPHeader",
+    "PacketTrace",
+    "TraceStats",
+    "PcapReader",
+    "PcapWriter",
+    "read_pcap",
+    "write_pcap",
+    "FlowKey",
+    "FlowTable",
+    "five_tuple",
+    "decode_ethernet_ipv4_udp",
+    "encode_ethernet_ipv4_udp",
+    "ETHERNET_HEADER_LEN",
+    "IPV4_HEADER_MIN_LEN",
+    "UDP_HEADER_LEN",
+]

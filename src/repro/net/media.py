@@ -1,0 +1,30 @@
+"""Ground-truth media categories shared across the packet and RTP substrates.
+
+Kept in a leaf module (no intra-package imports) so both
+:mod:`repro.net.packet` and :mod:`repro.rtp.payload_types` can depend on it
+without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["MediaType"]
+
+
+class MediaType(enum.Enum):
+    """Ground-truth media type of a packet (simulator annotation).
+
+    Mirrors the categories the paper distinguishes via the RTP payload type:
+    audio, video, video retransmission, and non-RTP control traffic
+    (STUN/DTLS handshakes, RTCP).
+    """
+
+    AUDIO = "audio"
+    VIDEO = "video"
+    VIDEO_RTX = "video_rtx"
+    CONTROL = "control"
+
+    @property
+    def is_video(self) -> bool:
+        return self in (MediaType.VIDEO, MediaType.VIDEO_RTX)

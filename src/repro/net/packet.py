@@ -1,0 +1,138 @@
+"""Packet model used throughout the reproduction.
+
+A :class:`Packet` carries exactly the information a passive monitor that only
+parses IP and UDP headers would have -- a receive timestamp, the 5-tuple, and
+the UDP payload length -- plus, optionally, the parsed RTP header and
+simulator-side ground-truth annotations (frame id, media type).  The
+IP/UDP-only estimators never touch the optional fields; the RTP baselines and
+the evaluation code do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.net.media import MediaType
+
+if TYPE_CHECKING:  # pragma: no cover - import only needed for type checkers
+    from repro.rtp.header import RTPHeader
+
+__all__ = ["MediaType", "IPv4Header", "UDPHeader", "Packet"]
+
+#: Fixed RTP header length in bytes (no CSRCs, no extensions).  The heuristics
+#: subtract this when converting UDP payload bytes to media payload bytes.
+RTP_FIXED_HEADER_LEN = 12
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """The IPv4 header fields a monitor extracts."""
+
+    src: str
+    dst: str
+    ttl: int = 64
+    protocol: int = 17  # UDP
+    total_length: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ttl <= 255:
+            raise ValueError(f"ttl out of range: {self.ttl}")
+        if not 0 <= self.protocol <= 255:
+            raise ValueError(f"protocol out of range: {self.protocol}")
+
+
+@dataclass(frozen=True)
+class UDPHeader:
+    """The UDP header fields a monitor extracts."""
+
+    src_port: int
+    dst_port: int
+    length: int = 0  # UDP length field: header (8) + payload
+
+    def __post_init__(self) -> None:
+        for name, port in (("src_port", self.src_port), ("dst_port", self.dst_port)):
+            if not 0 <= port <= 65535:
+                raise ValueError(f"{name} out of range: {port}")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One captured datagram.
+
+    Attributes
+    ----------
+    timestamp:
+        Receive time in seconds (float, epoch-relative or call-relative).
+    ip / udp:
+        Parsed IP and UDP headers (always available to the estimators).
+    payload_size:
+        UDP payload length in bytes.  For RTP packets this includes the RTP
+        header; the paper's size features operate on this value.
+    rtp:
+        Parsed RTP header, if the monitor was able to parse it.  ``None`` for
+        non-RTP packets and for the IP/UDP-only measurement scenario.
+    media_type / frame_id:
+        Simulator-side ground-truth annotations used only for evaluation
+        (e.g. media-classification confusion matrices, true frame boundaries).
+    """
+
+    timestamp: float
+    ip: IPv4Header
+    udp: UDPHeader
+    payload_size: int
+    rtp: RTPHeader | None = None
+    media_type: MediaType | None = None
+    frame_id: int | None = None
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.payload_size < 0:
+            raise ValueError(f"payload_size must be non-negative, got {self.payload_size}")
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative, got {self.timestamp}")
+
+    @property
+    def size(self) -> int:
+        """Alias for :attr:`payload_size`; the paper's "packet size" feature."""
+        return self.payload_size
+
+    @property
+    def media_payload_size(self) -> int:
+        """Payload bytes excluding the fixed 12-byte RTP header.
+
+        The heuristics use this to convert packet sizes into video bitrate
+        (Section 5.1.3 notes the fixed RTP header is accounted for).
+        """
+        return max(0, self.payload_size - RTP_FIXED_HEADER_LEN)
+
+    def without_rtp(self) -> "Packet":
+        """A copy of this packet as an IP/UDP-only monitor would see it."""
+        return replace(self, rtp=None)
+
+    def without_ground_truth(self) -> "Packet":
+        """A copy with simulator annotations stripped (for blind estimation)."""
+        return replace(self, media_type=None, frame_id=None, metadata={})
+
+    def anonymized(self) -> "Packet":
+        """A copy with hashed endpoint addresses, as in the released dataset.
+
+        Addresses are mapped deterministically into the 10.0.0.0/8 range so
+        anonymised traces remain valid IPv4 captures.
+        """
+        def _hash_addr(addr: str) -> str:
+            import hashlib
+
+            digest = hashlib.sha256(addr.encode()).digest()
+            return f"10.{digest[0]}.{digest[1]}.{digest[2]}"
+
+        return replace(
+            self,
+            ip=IPv4Header(
+                src=_hash_addr(self.ip.src),
+                dst=_hash_addr(self.ip.dst),
+                ttl=self.ip.ttl,
+                protocol=self.ip.protocol,
+                total_length=self.ip.total_length,
+            ),
+        )

@@ -1,0 +1,149 @@
+"""Reader and writer for the classic libpcap capture format.
+
+The paper's pipeline stores every call as a ``.pcap`` file captured with
+tcpdump.  This module lets the reproduction persist simulated calls in the
+same format (microsecond-resolution classic pcap, Ethernet link type) and
+read them back, so the estimation pipeline genuinely operates on on-disk
+captures rather than in-memory shortcuts.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.net.headers import decode_ethernet_ipv4_udp, encode_ethernet_ipv4_udp
+from repro.net.packet import MediaType, Packet
+from repro.rtp.header import RTPHeader
+
+__all__ = ["PcapReader", "PcapWriter", "read_pcap", "write_pcap", "PCAP_MAGIC"]
+
+PCAP_MAGIC = 0xA1B2C3D4
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+_LINKTYPE_ETHERNET = 1
+
+
+class PcapWriter:
+    """Write packets to a classic pcap file (Ethernet link layer).
+
+    RTP headers, when present on a packet, are serialised into the UDP payload
+    so that a reader parsing the file recovers them; the remaining payload is
+    zero-filled to the packet's recorded payload size.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file = None
+
+    def __enter__(self) -> "PcapWriter":
+        self._file = open(self.path, "wb")
+        self._file.write(
+            _GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, 65535, _LINKTYPE_ETHERNET)
+        )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def write(self, packet: Packet) -> None:
+        """Append one packet record."""
+        if self._file is None:
+            raise RuntimeError("PcapWriter must be used as a context manager")
+        payload = self._build_payload(packet)
+        frame = encode_ethernet_ipv4_udp(packet.ip, packet.udp, payload)
+        seconds = int(packet.timestamp)
+        microseconds = int(round((packet.timestamp - seconds) * 1e6))
+        if microseconds >= 1_000_000:
+            seconds += 1
+            microseconds -= 1_000_000
+        self._file.write(_RECORD_HEADER.pack(seconds, microseconds, len(frame), len(frame)))
+        self._file.write(frame)
+
+    def write_all(self, packets) -> int:
+        count = 0
+        for packet in packets:
+            self.write(packet)
+            count += 1
+        return count
+
+    @staticmethod
+    def _build_payload(packet: Packet) -> bytes:
+        if packet.rtp is not None:
+            header_bytes = packet.rtp.encode()
+            padding = max(0, packet.payload_size - len(header_bytes))
+            return header_bytes + bytes(padding)
+        return bytes(packet.payload_size)
+
+
+class PcapReader:
+    """Iterate packets from a classic pcap file written by :class:`PcapWriter`
+    (or any Ethernet/IPv4/UDP capture).
+
+    Non-UDP records are skipped.  If ``parse_rtp`` is true, an RTP header is
+    parsed from the first 12 payload bytes when it looks like RTP (version 2).
+    """
+
+    def __init__(self, path: str | Path, parse_rtp: bool = True) -> None:
+        self.path = Path(path)
+        self.parse_rtp = parse_rtp
+
+    def __iter__(self):
+        with open(self.path, "rb") as handle:
+            header = handle.read(_GLOBAL_HEADER.size)
+            if len(header) < _GLOBAL_HEADER.size:
+                raise ValueError(f"{self.path} is not a pcap file (truncated global header)")
+            magic = struct.unpack("<I", header[:4])[0]
+            if magic == PCAP_MAGIC:
+                endian = "<"
+            elif magic == 0xD4C3B2A1:
+                endian = ">"
+            else:
+                raise ValueError(f"{self.path} is not a classic pcap file (magic 0x{magic:08x})")
+            record_struct = struct.Struct(endian + "IIII")
+
+            while True:
+                record_header = handle.read(record_struct.size)
+                if not record_header:
+                    return
+                if len(record_header) < record_struct.size:
+                    raise ValueError(f"{self.path}: truncated record header")
+                seconds, microseconds, captured_len, _original_len = record_struct.unpack(record_header)
+                frame = handle.read(captured_len)
+                if len(frame) < captured_len:
+                    raise ValueError(f"{self.path}: truncated packet record")
+                packet = self._parse_frame(seconds + microseconds / 1e6, frame)
+                if packet is not None:
+                    yield packet
+
+    def _parse_frame(self, timestamp: float, frame: bytes) -> Packet | None:
+        try:
+            ip, udp, payload = decode_ethernet_ipv4_udp(frame)
+        except ValueError:
+            return None
+        rtp = None
+        if self.parse_rtp and len(payload) >= 12 and (payload[0] >> 6) == 2:
+            try:
+                rtp = RTPHeader.decode(payload)
+            except ValueError:
+                rtp = None
+        return Packet(
+            timestamp=timestamp,
+            ip=ip,
+            udp=udp,
+            payload_size=len(payload),
+            rtp=rtp,
+        )
+
+
+def write_pcap(path: str | Path, packets) -> int:
+    """Write ``packets`` to ``path``; returns the number of records written."""
+    with PcapWriter(path) as writer:
+        return writer.write_all(packets)
+
+
+def read_pcap(path: str | Path, parse_rtp: bool = True) -> list[Packet]:
+    """Read every UDP packet from ``path`` into a list."""
+    return list(PcapReader(path, parse_rtp=parse_rtp))

@@ -1,0 +1,214 @@
+"""Packet trace container.
+
+:class:`PacketTrace` is the central data structure of the reproduction: the
+simulator produces one per call, the dataset builders persist them to pcap,
+and every estimator consumes them.  It keeps packets sorted by arrival time
+and provides the slicing/windowing/statistics primitives that the feature
+extraction (Table 1) and the heuristics need.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.net.packet import MediaType, Packet
+
+__all__ = ["PacketTrace", "TraceStats"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics for a trace (or a slice of one)."""
+
+    n_packets: int
+    n_bytes: int
+    duration: float
+    start_time: float
+    end_time: float
+    mean_packet_size: float
+    mean_interarrival: float
+
+    @property
+    def throughput_bps(self) -> float:
+        """Average throughput in bits per second over the trace duration."""
+        if self.duration <= 0:
+            return 0.0
+        return 8.0 * self.n_bytes / self.duration
+
+
+class PacketTrace:
+    """An ordered sequence of packets belonging to one capture.
+
+    Packets are kept sorted by timestamp; out-of-order insertion is allowed
+    and re-sorted lazily, mirroring the fact that a passive monitor records
+    packets in arrival order even when the RTP sequence numbers say otherwise.
+    """
+
+    def __init__(self, packets: Iterable[Packet] = (), vca: str | None = None) -> None:
+        self._packets: list[Packet] = sorted(packets, key=lambda p: p.timestamp)
+        self.vca = vca
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._packets)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return PacketTrace(self._packets[index], vca=self.vca)
+        return self._packets[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._packets)
+
+    # -- construction ---------------------------------------------------------
+
+    def append(self, packet: Packet) -> None:
+        """Add a packet, preserving timestamp order."""
+        if self._packets and packet.timestamp < self._packets[-1].timestamp:
+            position = bisect_left([p.timestamp for p in self._packets], packet.timestamp)
+            self._packets.insert(position, packet)
+        else:
+            self._packets.append(packet)
+
+    def extend(self, packets: Iterable[Packet]) -> None:
+        for packet in packets:
+            self.append(packet)
+
+    @classmethod
+    def from_pcap(cls, path: str | Path, vca: str | None = None, parse_rtp: bool = True) -> "PacketTrace":
+        """Load a trace from a pcap file (see :mod:`repro.net.pcap`)."""
+        from repro.net.pcap import read_pcap
+
+        return cls(read_pcap(path, parse_rtp=parse_rtp), vca=vca)
+
+    def to_pcap(self, path: str | Path) -> int:
+        """Persist the trace to a pcap file; returns the number of records."""
+        from repro.net.pcap import write_pcap
+
+        return write_pcap(path, self._packets)
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def packets(self) -> list[Packet]:
+        return list(self._packets)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return np.array([p.timestamp for p in self._packets], dtype=float)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return np.array([p.payload_size for p in self._packets], dtype=float)
+
+    @property
+    def start_time(self) -> float:
+        if not self._packets:
+            return 0.0
+        return self._packets[0].timestamp
+
+    @property
+    def end_time(self) -> float:
+        if not self._packets:
+            return 0.0
+        return self._packets[-1].timestamp
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def filter(self, predicate) -> "PacketTrace":
+        """A new trace containing only packets for which ``predicate`` is true."""
+        return PacketTrace((p for p in self._packets if predicate(p)), vca=self.vca)
+
+    def filter_media(self, *media_types: MediaType) -> "PacketTrace":
+        """Ground-truth media filter (evaluation only)."""
+        wanted = set(media_types)
+        return self.filter(lambda p: p.media_type in wanted)
+
+    def without_rtp(self) -> "PacketTrace":
+        """The trace as seen by an IP/UDP-only monitor (RTP headers stripped)."""
+        return PacketTrace((p.without_rtp() for p in self._packets), vca=self.vca)
+
+    def without_ground_truth(self) -> "PacketTrace":
+        """The trace with simulator annotations removed."""
+        return PacketTrace((p.without_ground_truth() for p in self._packets), vca=self.vca)
+
+    def time_slice(self, start: float, end: float) -> "PacketTrace":
+        """Packets with ``start <= timestamp < end`` (binary search, O(log n))."""
+        times = [p.timestamp for p in self._packets]
+        lo = bisect_left(times, start)
+        hi = bisect_left(times, end)
+        return PacketTrace(self._packets[lo:hi], vca=self.vca)
+
+    def shifted(self, offset: float) -> "PacketTrace":
+        """A copy with every timestamp shifted by ``offset`` seconds."""
+        from dataclasses import replace
+
+        return PacketTrace(
+            (replace(p, timestamp=p.timestamp + offset) for p in self._packets),
+            vca=self.vca,
+        )
+
+    def normalized(self) -> "PacketTrace":
+        """A copy with timestamps re-based so the first packet arrives at t=0."""
+        if not self._packets:
+            return PacketTrace([], vca=self.vca)
+        return self.shifted(-self.start_time)
+
+    # -- statistics -----------------------------------------------------------
+
+    def interarrival_times(self) -> np.ndarray:
+        """Consecutive arrival-time differences (empty for <2 packets)."""
+        if len(self._packets) < 2:
+            return np.array([], dtype=float)
+        return np.diff(self.timestamps)
+
+    def stats(self) -> TraceStats:
+        """Aggregate statistics for the whole trace."""
+        if not self._packets:
+            return TraceStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        sizes = self.sizes
+        iats = self.interarrival_times()
+        return TraceStats(
+            n_packets=len(self._packets),
+            n_bytes=int(sizes.sum()),
+            duration=self.duration,
+            start_time=self.start_time,
+            end_time=self.end_time,
+            mean_packet_size=float(sizes.mean()),
+            mean_interarrival=float(iats.mean()) if len(iats) else 0.0,
+        )
+
+    def iter_windows(self, window: float, start: float | None = None, end: float | None = None):
+        """Yield ``(window_start, PacketTrace)`` pairs covering [start, end).
+
+        Windows are aligned to ``start`` (default: trace start) and have a
+        fixed duration; empty windows are yielded too so that per-second
+        estimates line up with the webrtc-internals ground truth rows even
+        when no packets arrived in a second.
+        """
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not self._packets:
+            return
+        if start is None:
+            start = self.start_time
+        if end is None:
+            end = self.end_time
+        times = [p.timestamp for p in self._packets]
+        t = start
+        while t < end:
+            lo = bisect_left(times, t)
+            hi = bisect_left(times, t + window)
+            yield t, PacketTrace(self._packets[lo:hi], vca=self.vca)
+            t += window

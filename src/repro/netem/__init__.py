@@ -1,0 +1,29 @@
+"""Network emulation substrate.
+
+Reproduces the role of the paper's ``tc netem``-style in-lab emulation: a
+bottleneck link with a token-bucket rate limit and drop-tail queue, constant
+propagation delay plus random jitter, Bernoulli loss, and the resulting packet
+reordering.  Conditions can vary second-by-second, driven either by synthetic
+NDT speed-test traces (:mod:`repro.netem.ndt`, standing in for the M-Lab
+``tcp-info`` dataset) or by the fixed impairment profiles of Table A.6
+(:mod:`repro.netem.impairments`).
+"""
+
+from repro.netem.conditions import ConditionSchedule, NetworkCondition
+from repro.netem.impairments import IMPAIRMENT_PROFILES, ImpairmentProfile, impairment_schedules
+from repro.netem.link import EmulatedLink, LinkReport
+from repro.netem.ndt import NDTSample, NDTTrace, generate_ndt_trace, schedule_from_ndt
+
+__all__ = [
+    "NetworkCondition",
+    "ConditionSchedule",
+    "EmulatedLink",
+    "LinkReport",
+    "NDTSample",
+    "NDTTrace",
+    "generate_ndt_trace",
+    "schedule_from_ndt",
+    "ImpairmentProfile",
+    "IMPAIRMENT_PROFILES",
+    "impairment_schedules",
+]

@@ -1,0 +1,120 @@
+"""Time-varying network conditions.
+
+A :class:`NetworkCondition` describes the bottleneck for one interval: link
+rate, one-way propagation delay, delay jitter, and Bernoulli loss probability.
+A :class:`ConditionSchedule` is a piecewise-constant sequence of conditions,
+each held for a fixed interval (1 second in the paper's emulation, Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["NetworkCondition", "ConditionSchedule"]
+
+
+@dataclass(frozen=True)
+class NetworkCondition:
+    """Bottleneck parameters held constant over one interval."""
+
+    throughput_kbps: float
+    delay_ms: float = 50.0
+    jitter_ms: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.throughput_kbps <= 0:
+            raise ValueError(f"throughput_kbps must be positive, got {self.throughput_kbps}")
+        if self.delay_ms < 0:
+            raise ValueError(f"delay_ms must be non-negative, got {self.delay_ms}")
+        if self.jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be non-negative, got {self.jitter_ms}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+
+    @property
+    def throughput_bytes_per_second(self) -> float:
+        return self.throughput_kbps * 1000.0 / 8.0
+
+    def scaled(self, factor: float) -> "NetworkCondition":
+        """The same condition with the throughput scaled by ``factor``."""
+        return replace(self, throughput_kbps=max(1.0, self.throughput_kbps * factor))
+
+
+class ConditionSchedule:
+    """Piecewise-constant network conditions over the duration of a call."""
+
+    def __init__(self, conditions: Sequence[NetworkCondition], interval: float = 1.0) -> None:
+        if not conditions:
+            raise ValueError("a schedule needs at least one condition")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._conditions = list(conditions)
+        self.interval = interval
+
+    @classmethod
+    def constant(cls, condition: NetworkCondition, duration: float, interval: float = 1.0) -> "ConditionSchedule":
+        """A schedule holding ``condition`` fixed for ``duration`` seconds."""
+        steps = max(1, int(np.ceil(duration / interval)))
+        return cls([condition] * steps, interval=interval)
+
+    @property
+    def conditions(self) -> list[NetworkCondition]:
+        return list(self._conditions)
+
+    @property
+    def duration(self) -> float:
+        return len(self._conditions) * self.interval
+
+    def at(self, time: float) -> NetworkCondition:
+        """The condition active at ``time`` (clamped to the schedule bounds)."""
+        if time < 0:
+            time = 0.0
+        index = min(int(time // self.interval), len(self._conditions) - 1)
+        return self._conditions[index]
+
+    def __len__(self) -> int:
+        return len(self._conditions)
+
+    def __iter__(self):
+        return iter(self._conditions)
+
+    def __getitem__(self, index: int) -> NetworkCondition:
+        return self._conditions[index]
+
+    def mean_throughput_kbps(self) -> float:
+        return float(np.mean([c.throughput_kbps for c in self._conditions]))
+
+    def mean_loss_rate(self) -> float:
+        return float(np.mean([c.loss_rate for c in self._conditions]))
+
+    def mean_delay_ms(self) -> float:
+        return float(np.mean([c.delay_ms for c in self._conditions]))
+
+    def truncated(self, duration: float) -> "ConditionSchedule":
+        """The first ``duration`` seconds of the schedule."""
+        steps = max(1, int(np.ceil(duration / self.interval)))
+        return ConditionSchedule(self._conditions[:steps], interval=self.interval)
+
+    def repeated_to(self, duration: float) -> "ConditionSchedule":
+        """The schedule cycled until it covers at least ``duration`` seconds."""
+        steps = max(1, int(np.ceil(duration / self.interval)))
+        cycles = int(np.ceil(steps / len(self._conditions)))
+        return ConditionSchedule((self._conditions * cycles)[:steps], interval=self.interval)
+
+    @classmethod
+    def concatenate(cls, schedules: Iterable["ConditionSchedule"]) -> "ConditionSchedule":
+        """Join schedules (which must share the same interval) back to back."""
+        schedules = list(schedules)
+        if not schedules:
+            raise ValueError("need at least one schedule")
+        interval = schedules[0].interval
+        conditions: list[NetworkCondition] = []
+        for schedule in schedules:
+            if schedule.interval != interval:
+                raise ValueError("all schedules must share the same interval")
+            conditions.extend(schedule.conditions)
+        return cls(conditions, interval=interval)

@@ -1,0 +1,113 @@
+"""Impairment profiles for the network-sensitivity study (Table A.6).
+
+Each profile varies exactly one parameter while holding the others at their
+defaults (throughput 1500 kbps, delay 50 ms, jitter 0, loss 0%), matching the
+paper's Section 5.4 setup.  Each combination is emulated for four calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netem.conditions import ConditionSchedule, NetworkCondition
+
+__all__ = ["ImpairmentProfile", "IMPAIRMENT_PROFILES", "impairment_schedules"]
+
+DEFAULT_THROUGHPUT_KBPS = 1500.0
+DEFAULT_DELAY_MS = 50.0
+DEFAULT_JITTER_MS = 0.0
+DEFAULT_LOSS = 0.0
+
+
+@dataclass(frozen=True)
+class ImpairmentProfile:
+    """One row of Table A.6: a swept parameter and its values."""
+
+    name: str
+    parameter: str
+    values: tuple[float, ...]
+
+    def condition_for(self, value: float) -> NetworkCondition:
+        """The constant network condition for one swept value."""
+        throughput = DEFAULT_THROUGHPUT_KBPS
+        delay = DEFAULT_DELAY_MS
+        jitter = DEFAULT_JITTER_MS
+        loss = DEFAULT_LOSS
+        if self.parameter == "throughput_kbps":
+            throughput = value
+        elif self.parameter == "throughput_jitter_kbps":
+            # handled by impairment_schedules (needs per-second variation)
+            pass
+        elif self.parameter == "delay_ms":
+            delay = value
+        elif self.parameter == "jitter_ms":
+            jitter = value
+        elif self.parameter == "loss_pct":
+            loss = value / 100.0
+        else:
+            raise ValueError(f"unknown impairment parameter: {self.parameter}")
+        return NetworkCondition(
+            throughput_kbps=throughput, delay_ms=delay, jitter_ms=jitter, loss_rate=loss
+        )
+
+
+#: The five impairment profiles of Table A.6.
+IMPAIRMENT_PROFILES: dict[str, ImpairmentProfile] = {
+    "mean_throughput": ImpairmentProfile(
+        name="Mean Throughput",
+        parameter="throughput_kbps",
+        values=(100.0, 200.0, 500.0, 1000.0, 2000.0, 4000.0),
+    ),
+    "throughput_stdev": ImpairmentProfile(
+        name="Throughput stdev.",
+        parameter="throughput_jitter_kbps",
+        values=(0.0, 100.0, 200.0, 500.0, 1000.0, 1500.0),
+    ),
+    "mean_latency": ImpairmentProfile(
+        name="Mean Latency",
+        parameter="delay_ms",
+        values=(50.0, 100.0, 200.0, 300.0, 400.0, 500.0),
+    ),
+    "latency_stdev": ImpairmentProfile(
+        name="Latency stdev.",
+        parameter="jitter_ms",
+        values=(10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0),
+    ),
+    "packet_loss": ImpairmentProfile(
+        name="Packet Loss %",
+        parameter="loss_pct",
+        values=(1.0, 2.0, 5.0, 10.0, 15.0, 20.0),
+    ),
+}
+
+
+def impairment_schedules(
+    profile: ImpairmentProfile,
+    value: float,
+    duration_s: float,
+    rng=None,
+) -> ConditionSchedule:
+    """Build the schedule for one (profile, value) cell of Table A.6.
+
+    For the throughput-standard-deviation profile the per-second throughput is
+    drawn from N(1500, value); all other profiles are constant schedules.
+    """
+    import numpy as np
+
+    steps = max(1, int(np.ceil(duration_s)))
+    if profile.parameter == "throughput_jitter_kbps":
+        rng = rng if rng is not None else np.random.default_rng()
+        conditions = []
+        for _ in range(steps):
+            throughput = float(np.clip(rng.normal(DEFAULT_THROUGHPUT_KBPS, value), 100.0, 20_000.0))
+            conditions.append(
+                NetworkCondition(
+                    throughput_kbps=throughput,
+                    delay_ms=DEFAULT_DELAY_MS,
+                    jitter_ms=DEFAULT_JITTER_MS,
+                    loss_rate=DEFAULT_LOSS,
+                )
+            )
+        return ConditionSchedule(conditions, interval=1.0)
+    condition = profile.condition_for(value)
+    return ConditionSchedule.constant(condition, duration_s)

@@ -1,0 +1,123 @@
+"""Emulated bottleneck link.
+
+Models the path between the VCA sender and the measurement point as:
+
+1. a token-bucket rate limiter with a finite drop-tail queue (the bottleneck),
+2. Bernoulli random loss,
+3. constant one-way propagation delay plus truncated-Gaussian jitter.
+
+Because jitter is applied per packet after the FIFO bottleneck, sufficiently
+large jitter reorders packets at the receiver -- exactly the effect the paper
+identifies as the main failure mode of the IP/UDP Heuristic (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.netem.conditions import ConditionSchedule, NetworkCondition
+
+__all__ = ["EmulatedLink", "LinkReport"]
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """What happened to a batch of packets that crossed the link."""
+
+    sent: int
+    delivered: int
+    dropped_loss: int
+    dropped_queue: int
+    mean_delay_ms: float
+    max_queue_delay_ms: float
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.sent == 0:
+            return 0.0
+        return (self.dropped_loss + self.dropped_queue) / self.sent
+
+
+class EmulatedLink:
+    """Stateful one-way link driven by a :class:`ConditionSchedule`.
+
+    The link keeps its queue backlog across calls to :meth:`transmit`, so a
+    burst in one interval can spill queueing delay into the next, as a real
+    bottleneck would.
+    """
+
+    def __init__(
+        self,
+        schedule: ConditionSchedule,
+        max_queue_ms: float = 300.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if max_queue_ms <= 0:
+            raise ValueError("max_queue_ms must be positive")
+        self.schedule = schedule
+        self.max_queue_ms = max_queue_ms
+        self.rng = rng if rng is not None else np.random.default_rng()
+        # Time at which the bottleneck becomes free to serve the next packet.
+        self._link_free_at = 0.0
+
+    def reset(self) -> None:
+        """Forget queue state (used between independent calls)."""
+        self._link_free_at = 0.0
+
+    def transmit(self, packets: list[Packet]) -> tuple[list[Packet], LinkReport]:
+        """Carry ``packets`` (ordered by departure time) across the link.
+
+        Returns the delivered packets with their arrival timestamps (sorted by
+        arrival) together with a :class:`LinkReport`.  Packet objects are not
+        mutated; delivered packets are timestamp-shifted copies.
+        """
+        delivered: list[Packet] = []
+        dropped_loss = 0
+        dropped_queue = 0
+        delays: list[float] = []
+        max_queue_delay = 0.0
+
+        for packet in sorted(packets, key=lambda p: p.timestamp):
+            condition = self.schedule.at(packet.timestamp)
+
+            # Random (Bernoulli) loss upstream of the bottleneck.
+            if condition.loss_rate > 0 and self.rng.random() < condition.loss_rate:
+                dropped_loss += 1
+                continue
+
+            service_time = packet.payload_size / condition.throughput_bytes_per_second
+            start_service = max(packet.timestamp, self._link_free_at)
+            queue_delay = start_service - packet.timestamp
+            if queue_delay * 1000.0 > self.max_queue_ms:
+                dropped_queue += 1
+                continue
+            finish_service = start_service + service_time
+            self._link_free_at = finish_service
+
+            propagation = condition.delay_ms / 1000.0
+            jitter = 0.0
+            if condition.jitter_ms > 0:
+                jitter = abs(self.rng.normal(0.0, condition.jitter_ms / 1000.0))
+            arrival = finish_service + propagation + jitter
+
+            total_delay = arrival - packet.timestamp
+            delays.append(total_delay)
+            max_queue_delay = max(max_queue_delay, queue_delay)
+            delivered.append(replace(packet, timestamp=arrival))
+
+        delivered.sort(key=lambda p: p.timestamp)
+        report = LinkReport(
+            sent=len(packets),
+            delivered=len(delivered),
+            dropped_loss=dropped_loss,
+            dropped_queue=dropped_queue,
+            mean_delay_ms=float(np.mean(delays) * 1000.0) if delays else 0.0,
+            max_queue_delay_ms=max_queue_delay * 1000.0,
+        )
+        return delivered, report
+
+    def condition_at(self, time: float) -> NetworkCondition:
+        return self.schedule.at(time)

@@ -1,0 +1,151 @@
+"""Synthetic NDT (Network Diagnostic Test) speed-test traces.
+
+The paper drives its in-lab emulation with the per-test ``tcp-info`` samples
+from M-Lab's public NDT dataset: the sequence of instantaneous RTT and loss
+values from a single test is replayed directly, while the throughput for each
+second is drawn from a normal distribution matching the test's mean and
+variance (to avoid replaying slow-start).  Only tests with average speed
+below 10 Mbps are used, to create challenging conditions (Section 4.2).
+
+That dataset is not available offline, so this module generates synthetic NDT
+tests with the same structure: a per-test average speed drawn from a
+heavy-tailed access-speed distribution, per-second throughput/RTT/loss samples
+with realistic correlations (loss and RTT inflation when the test saturates
+the link), and the same "<10 Mbps only" selection rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netem.conditions import ConditionSchedule, NetworkCondition
+
+__all__ = ["NDTSample", "NDTTrace", "generate_ndt_trace", "generate_ndt_corpus", "schedule_from_ndt"]
+
+
+@dataclass(frozen=True)
+class NDTSample:
+    """One tcp-info snapshot from an NDT test (roughly one per second)."""
+
+    elapsed_s: float
+    throughput_kbps: float
+    rtt_ms: float
+    loss_rate: float
+
+
+@dataclass(frozen=True)
+class NDTTrace:
+    """A single synthetic NDT test: a sequence of tcp-info snapshots."""
+
+    test_id: str
+    samples: tuple[NDTSample, ...]
+
+    @property
+    def mean_throughput_kbps(self) -> float:
+        return float(np.mean([s.throughput_kbps for s in self.samples]))
+
+    @property
+    def std_throughput_kbps(self) -> float:
+        return float(np.std([s.throughput_kbps for s in self.samples]))
+
+    @property
+    def duration(self) -> float:
+        return self.samples[-1].elapsed_s if self.samples else 0.0
+
+
+def generate_ndt_trace(
+    rng: np.random.Generator,
+    test_id: str = "ndt-0",
+    duration_s: int = 10,
+    max_speed_kbps: float = 10_000.0,
+) -> NDTTrace:
+    """Generate one synthetic NDT test below ``max_speed_kbps``.
+
+    The per-test average speed is drawn log-normally (most access links in the
+    challenged regime sit between a few hundred kbps and a few Mbps); the
+    per-second samples fluctuate around it, RTT inflates when the sampled
+    throughput dips (bufferbloat under saturation), and loss spikes appear on
+    a small fraction of seconds.
+    """
+    if duration_s < 1:
+        raise ValueError("duration_s must be >= 1")
+
+    # Average speed: log-normal, clipped to (100, max_speed) kbps.
+    mean_speed = float(np.clip(np.exp(rng.normal(7.6, 0.9)), 150.0, max_speed_kbps))
+    speed_cv = rng.uniform(0.1, 0.45)  # coefficient of variation within the test
+    base_rtt = float(np.clip(np.exp(rng.normal(3.4, 0.6)), 10.0, 250.0))
+    lossy_test = rng.random() < 0.35
+    base_loss = rng.uniform(0.0, 0.02) if lossy_test else 0.0
+
+    samples = []
+    for second in range(duration_s):
+        throughput = float(
+            np.clip(rng.normal(mean_speed, speed_cv * mean_speed), 100.0, max_speed_kbps)
+        )
+        # RTT inflation grows when instantaneous throughput falls below the mean
+        # (queue building at the bottleneck).
+        saturation = max(0.0, (mean_speed - throughput) / mean_speed)
+        rtt = base_rtt * (1.0 + 2.0 * saturation) + abs(rng.normal(0.0, 5.0))
+        loss = base_loss
+        if rng.random() < 0.05:
+            loss = min(0.2, loss + rng.uniform(0.01, 0.06))
+        samples.append(
+            NDTSample(
+                elapsed_s=float(second),
+                throughput_kbps=throughput,
+                rtt_ms=float(rtt),
+                loss_rate=float(loss),
+            )
+        )
+    return NDTTrace(test_id=test_id, samples=tuple(samples))
+
+
+def generate_ndt_corpus(
+    n_tests: int,
+    rng: np.random.Generator | None = None,
+    duration_s: int = 10,
+    max_speed_kbps: float = 10_000.0,
+) -> list[NDTTrace]:
+    """Generate a corpus of synthetic NDT tests (the emulation input pool)."""
+    if n_tests < 1:
+        raise ValueError("n_tests must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    return [
+        generate_ndt_trace(rng, test_id=f"ndt-{i}", duration_s=duration_s, max_speed_kbps=max_speed_kbps)
+        for i in range(n_tests)
+    ]
+
+
+def schedule_from_ndt(
+    trace: NDTTrace,
+    duration_s: float,
+    rng: np.random.Generator | None = None,
+) -> ConditionSchedule:
+    """Build an emulation schedule from an NDT test, as the paper does.
+
+    The RTT and loss sequences are replayed as-is (cycled to cover the call
+    duration); the per-second throughput is drawn from a normal distribution
+    with the test's mean and standard deviation rather than replayed directly,
+    to avoid reproducing TCP slow-start artefacts (Section 4.2).  One-way delay
+    is taken as half the sampled RTT.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    mean = trace.mean_throughput_kbps
+    std = trace.std_throughput_kbps
+    n_steps = max(1, int(np.ceil(duration_s)))
+    conditions = []
+    n_samples = len(trace.samples)
+    for step in range(n_steps):
+        sample = trace.samples[step % n_samples]
+        throughput = float(np.clip(rng.normal(mean, std), 100.0, 20_000.0))
+        conditions.append(
+            NetworkCondition(
+                throughput_kbps=throughput,
+                delay_ms=sample.rtt_ms / 2.0,
+                jitter_ms=min(30.0, sample.rtt_ms * 0.1),
+                loss_rate=min(0.5, sample.loss_rate),
+            )
+        )
+    return ConditionSchedule(conditions, interval=1.0)

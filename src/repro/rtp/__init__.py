@@ -1,0 +1,16 @@
+"""RTP substrate: header codec, per-VCA payload type maps, stream bookkeeping."""
+
+from repro.rtp.header import RTPHeader, VIDEO_CLOCK_RATE, AUDIO_CLOCK_RATE
+from repro.rtp.payload_types import PayloadTypeMap, LAB_PAYLOAD_TYPES, REAL_WORLD_PAYLOAD_TYPES
+from repro.rtp.stream import RTPStream, StreamRegistry
+
+__all__ = [
+    "RTPHeader",
+    "VIDEO_CLOCK_RATE",
+    "AUDIO_CLOCK_RATE",
+    "PayloadTypeMap",
+    "LAB_PAYLOAD_TYPES",
+    "REAL_WORLD_PAYLOAD_TYPES",
+    "RTPStream",
+    "StreamRegistry",
+]

@@ -1,0 +1,110 @@
+"""RTP fixed-header model and binary codec (RFC 3550).
+
+Only the 12-byte fixed header without CSRC entries or header extensions is
+modelled; that is all the RTP baselines in the paper need (payload type,
+marker bit, sequence number, timestamp, SSRC).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = ["RTPHeader", "VIDEO_CLOCK_RATE", "AUDIO_CLOCK_RATE", "RTP_VERSION"]
+
+#: RTP timestamp clock rate for video codecs (RFC 6184 and friends): 90 kHz.
+VIDEO_CLOCK_RATE = 90_000
+#: RTP timestamp clock rate for OPUS audio: 48 kHz.
+AUDIO_CLOCK_RATE = 48_000
+#: The only RTP version in use.
+RTP_VERSION = 2
+
+_STRUCT = struct.Struct("!BBHII")
+
+
+@dataclass(frozen=True)
+class RTPHeader:
+    """The RTP fixed header fields used by the paper's RTP baselines."""
+
+    payload_type: int
+    sequence_number: int
+    timestamp: int
+    ssrc: int
+    marker: bool = False
+    version: int = RTP_VERSION
+    padding: bool = False
+    extension: bool = False
+    csrc_count: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.payload_type <= 127:
+            raise ValueError(f"payload_type out of range: {self.payload_type}")
+        if not 0 <= self.sequence_number <= 0xFFFF:
+            raise ValueError(f"sequence_number out of range: {self.sequence_number}")
+        if not 0 <= self.timestamp <= 0xFFFFFFFF:
+            raise ValueError(f"timestamp out of range: {self.timestamp}")
+        if not 0 <= self.ssrc <= 0xFFFFFFFF:
+            raise ValueError(f"ssrc out of range: {self.ssrc}")
+        if not 0 <= self.csrc_count <= 15:
+            raise ValueError(f"csrc_count out of range: {self.csrc_count}")
+        if self.version != RTP_VERSION:
+            raise ValueError(f"unsupported RTP version: {self.version}")
+
+    def encode(self) -> bytes:
+        """Serialise to the 12-byte wire format."""
+        byte0 = (
+            (self.version << 6)
+            | (int(self.padding) << 5)
+            | (int(self.extension) << 4)
+            | self.csrc_count
+        )
+        byte1 = (int(self.marker) << 7) | self.payload_type
+        return _STRUCT.pack(byte0, byte1, self.sequence_number, self.timestamp, self.ssrc)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RTPHeader":
+        """Parse the 12-byte fixed header from ``data`` (extra bytes ignored)."""
+        if len(data) < _STRUCT.size:
+            raise ValueError(
+                f"need at least {_STRUCT.size} bytes for an RTP header, got {len(data)}"
+            )
+        byte0, byte1, seq, timestamp, ssrc = _STRUCT.unpack_from(data)
+        version = byte0 >> 6
+        if version != RTP_VERSION:
+            raise ValueError(f"unsupported RTP version: {version}")
+        return cls(
+            version=version,
+            padding=bool(byte0 & 0x20),
+            extension=bool(byte0 & 0x10),
+            csrc_count=byte0 & 0x0F,
+            marker=bool(byte1 & 0x80),
+            payload_type=byte1 & 0x7F,
+            sequence_number=seq,
+            timestamp=timestamp,
+            ssrc=ssrc,
+        )
+
+    def timestamp_seconds(self, clock_rate: int = VIDEO_CLOCK_RATE) -> float:
+        """Timestamp converted to seconds at ``clock_rate``."""
+        if clock_rate <= 0:
+            raise ValueError("clock_rate must be positive")
+        return self.timestamp / clock_rate
+
+
+def sequence_distance(a: int, b: int) -> int:
+    """Signed distance from sequence number ``a`` to ``b`` with 16-bit wraparound.
+
+    Positive when ``b`` is ahead of ``a``.  Used to detect reordering and loss.
+    """
+    diff = (b - a) & 0xFFFF
+    if diff >= 0x8000:
+        diff -= 0x10000
+    return diff
+
+
+def timestamp_distance(a: int, b: int) -> int:
+    """Signed distance from RTP timestamp ``a`` to ``b`` with 32-bit wraparound."""
+    diff = (b - a) & 0xFFFFFFFF
+    if diff >= 0x80000000:
+        diff -= 0x100000000
+    return diff

@@ -1,0 +1,70 @@
+"""Per-VCA RTP payload type maps.
+
+The paper observes different payload type numbers in the lab and in the
+real-world deployment (Section 5.2): in the lab Teams used PT 111 (audio),
+102 (video), 103 (video retransmission), while in the real-world data Teams
+used 100 (video) and 101 (retransmission), and Webex used 100 for video with
+no retransmission stream.  The simulator reproduces both variants so the RTP
+baselines must handle the remapping exactly as the paper's methodology does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.media import MediaType
+
+__all__ = ["PayloadTypeMap", "LAB_PAYLOAD_TYPES", "REAL_WORLD_PAYLOAD_TYPES"]
+
+
+@dataclass(frozen=True)
+class PayloadTypeMap:
+    """Mapping between RTP payload type numbers and media types for one VCA."""
+
+    audio: int
+    video: int
+    video_rtx: int | None = None
+    extra: dict[int, MediaType] = field(default_factory=dict)
+
+    def media_type(self, payload_type: int) -> MediaType | None:
+        """Media type for ``payload_type``, or ``None`` if unknown."""
+        if payload_type == self.audio:
+            return MediaType.AUDIO
+        if payload_type == self.video:
+            return MediaType.VIDEO
+        if self.video_rtx is not None and payload_type == self.video_rtx:
+            return MediaType.VIDEO_RTX
+        return self.extra.get(payload_type)
+
+    def payload_type(self, media: MediaType) -> int | None:
+        """Payload type number for ``media``, or ``None`` if the VCA has no such stream."""
+        if media is MediaType.AUDIO:
+            return self.audio
+        if media is MediaType.VIDEO:
+            return self.video
+        if media is MediaType.VIDEO_RTX:
+            return self.video_rtx
+        return None
+
+    @property
+    def video_types(self) -> set[int]:
+        """Payload types that carry video or video retransmissions."""
+        types = {self.video}
+        if self.video_rtx is not None:
+            types.add(self.video_rtx)
+        return types
+
+
+#: Payload types observed in the in-lab dataset (Section 3.1).
+LAB_PAYLOAD_TYPES: dict[str, PayloadTypeMap] = {
+    "meet": PayloadTypeMap(audio=111, video=96, video_rtx=97),
+    "teams": PayloadTypeMap(audio=111, video=102, video_rtx=103),
+    "webex": PayloadTypeMap(audio=111, video=102, video_rtx=103),
+}
+
+#: Payload types observed in the real-world dataset (Section 5.2).
+REAL_WORLD_PAYLOAD_TYPES: dict[str, PayloadTypeMap] = {
+    "meet": PayloadTypeMap(audio=111, video=96, video_rtx=97),
+    "teams": PayloadTypeMap(audio=111, video=100, video_rtx=101),
+    "webex": PayloadTypeMap(audio=111, video=100, video_rtx=None),
+}

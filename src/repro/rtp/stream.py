@@ -1,0 +1,102 @@
+"""RTP stream bookkeeping.
+
+Tracks per-SSRC sequence number and timestamp spaces, observed reordering and
+loss, which the RTP ML features (out-of-order sequence numbers, RTP lag,
+unique timestamps) are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.packet import MediaType, Packet
+from repro.rtp.header import sequence_distance
+
+__all__ = ["RTPStream", "StreamRegistry"]
+
+
+@dataclass
+class RTPStream:
+    """Running statistics for a single RTP stream (one SSRC)."""
+
+    ssrc: int
+    payload_type: int
+    media_type: MediaType | None = None
+    packet_count: int = 0
+    byte_count: int = 0
+    first_timestamp: int | None = None
+    first_arrival: float | None = None
+    last_sequence: int | None = None
+    out_of_order: int = 0
+    sequence_gaps: int = 0
+    unique_timestamps: set[int] = field(default_factory=set)
+    marker_count: int = 0
+
+    def update(self, packet: Packet) -> None:
+        """Fold one packet into the stream statistics."""
+        if packet.rtp is None:
+            raise ValueError("RTPStream.update requires a packet with an RTP header")
+        rtp = packet.rtp
+        if rtp.ssrc != self.ssrc:
+            raise ValueError(f"packet SSRC {rtp.ssrc} does not match stream SSRC {self.ssrc}")
+        self.packet_count += 1
+        self.byte_count += packet.payload_size
+        self.unique_timestamps.add(rtp.timestamp)
+        if rtp.marker:
+            self.marker_count += 1
+        if self.first_timestamp is None:
+            self.first_timestamp = rtp.timestamp
+            self.first_arrival = packet.timestamp
+        if self.last_sequence is not None:
+            distance = sequence_distance(self.last_sequence, rtp.sequence_number)
+            if distance <= 0:
+                self.out_of_order += 1
+            elif distance > 1:
+                self.sequence_gaps += distance - 1
+        if self.last_sequence is None or sequence_distance(self.last_sequence, rtp.sequence_number) > 0:
+            self.last_sequence = rtp.sequence_number
+
+
+class StreamRegistry:
+    """Discover and track all RTP streams (SSRCs) present in a trace."""
+
+    def __init__(self) -> None:
+        self._streams: dict[int, RTPStream] = {}
+
+    def observe(self, packet: Packet) -> RTPStream | None:
+        """Update the registry with one packet; returns the stream, or ``None``
+        if the packet carries no RTP header."""
+        if packet.rtp is None:
+            return None
+        ssrc = packet.rtp.ssrc
+        stream = self._streams.get(ssrc)
+        if stream is None:
+            stream = RTPStream(
+                ssrc=ssrc,
+                payload_type=packet.rtp.payload_type,
+                media_type=packet.media_type,
+            )
+            self._streams[ssrc] = stream
+        stream.update(packet)
+        return stream
+
+    def observe_all(self, packets) -> "StreamRegistry":
+        for packet in packets:
+            self.observe(packet)
+        return self
+
+    @property
+    def streams(self) -> list[RTPStream]:
+        return list(self._streams.values())
+
+    def by_payload_type(self, payload_type: int) -> list[RTPStream]:
+        return [s for s in self._streams.values() if s.payload_type == payload_type]
+
+    def by_media_type(self, media_type: MediaType) -> list[RTPStream]:
+        return [s for s in self._streams.values() if s.media_type is media_type]
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __contains__(self, ssrc: int) -> bool:
+        return ssrc in self._streams

@@ -1,0 +1,83 @@
+"""Audio stream model.
+
+WebRTC audio (OPUS) is a constant-packet-rate stream of small packets: one
+packet every 20 ms, with sizes between roughly 89 and 385 bytes depending on
+the encoded audio complexity (Figure 1).  Because audio packets are so much
+smaller than video packets, the paper's media classification separates the
+two with a simple size threshold; this module provides the audio side of that
+picture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.packet import IPv4Header, MediaType, Packet, UDPHeader
+from repro.rtp.header import AUDIO_CLOCK_RATE, RTPHeader
+from repro.webrtc.packetizer import RTP_HEADER_LEN, PacketizerConfig
+from repro.webrtc.profiles import VCAProfile
+
+__all__ = ["AudioStream"]
+
+
+class AudioStream:
+    """Generates the OPUS-like audio packet stream for one sender."""
+
+    def __init__(
+        self,
+        profile: VCAProfile,
+        config: PacketizerConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.profile = profile
+        self.config = config
+        self.rng = rng
+        self._sequence = int(rng.integers(0, 1 << 15))
+        self._timestamp_base = int(rng.integers(0, 1 << 30))
+        # Audio loudness / complexity drifts slowly, moving packet sizes
+        # around inside the [min, max] band.
+        self._complexity = rng.uniform(0.3, 0.7)
+
+    def _next_sequence(self) -> int:
+        value = self._sequence & 0xFFFF
+        self._sequence += 1
+        return value
+
+    def generate_second(self, start_time: float) -> list[Packet]:
+        """Audio packets departing in ``[start_time, start_time + 1)``."""
+        packets_per_second = self.profile.audio_packet_rate
+        n_packets = int(round(packets_per_second))
+        if n_packets <= 0:
+            return []
+        interval = 1.0 / n_packets
+        low, high = self.profile.audio_size_range
+
+        self._complexity = float(np.clip(self._complexity + self.rng.normal(0.0, 0.05), 0.05, 0.95))
+
+        packets: list[Packet] = []
+        for i in range(n_packets):
+            departure = start_time + i * interval + self.rng.uniform(0.0, interval * 0.05)
+            centre = low + self._complexity * (high - low)
+            size = int(np.clip(self.rng.normal(centre, 25.0), low, high))
+            header = RTPHeader(
+                payload_type=self.config.payload_type,
+                sequence_number=self._next_sequence(),
+                timestamp=(self._timestamp_base + int(departure * AUDIO_CLOCK_RATE)) & 0xFFFFFFFF,
+                ssrc=self.config.ssrc,
+                marker=False,
+            )
+            packets.append(
+                Packet(
+                    timestamp=departure,
+                    ip=IPv4Header(src=self.config.src_ip, dst=self.config.dst_ip),
+                    udp=UDPHeader(
+                        src_port=self.config.src_port,
+                        dst_port=self.config.dst_port,
+                        length=size + 8,
+                    ),
+                    payload_size=size,
+                    rtp=header,
+                    media_type=MediaType.AUDIO,
+                )
+            )
+        return packets

@@ -1,0 +1,124 @@
+"""Video encoder model.
+
+Generates per-frame encoded sizes and capture times for one second of video
+at a given target bitrate, frame rate and resolution.  The model captures the
+properties the paper's inference relies on:
+
+* variable-bitrate encoding: consecutive frames have different sizes (which is
+  what makes the inter-frame packet-size difference a usable frame-boundary
+  signal, Figure 2);
+* occasional keyframes that are several times larger than delta frames;
+* frame rate adaptation: below a bitrate floor the encoder drops its frame
+  rate rather than starving every frame of bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.webrtc.profiles import VCAProfile
+
+__all__ = ["EncodedFrame", "VideoEncoder"]
+
+
+@dataclass(frozen=True)
+class EncodedFrame:
+    """One encoded video frame ready for packetisation."""
+
+    frame_id: int
+    capture_time: float
+    size_bytes: int
+    height: int
+    is_keyframe: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {self.size_bytes}")
+
+
+class VideoEncoder:
+    """Stateful per-call encoder producing frames second by second."""
+
+    #: Below this many kilobits per second per frame-per-second the encoder
+    #: reduces its frame rate (roughly: don't go under ~45 kbit per frame... ).
+    _MIN_BITS_PER_FRAME = 4500.0
+
+    def __init__(self, profile: VCAProfile, rng: np.random.Generator, environment: str = "lab") -> None:
+        self.profile = profile
+        self.rng = rng
+        self.environment = environment
+        self._next_frame_id = 1
+        self._time_since_keyframe = 0.0
+        self._content_activity = 1.0  # slowly varying content complexity
+
+    def frame_rate_for(self, bitrate_kbps: float, max_fps: float) -> float:
+        """Frame rate the encoder actually uses at ``bitrate_kbps``.
+
+        The encoder keeps the full frame rate while each frame still gets a
+        reasonable byte budget, then degrades smoothly; this produces the wide
+        ground-truth FPS distributions of Figure A.1.
+        """
+        if bitrate_kbps <= 0:
+            return 0.0
+        affordable = (bitrate_kbps * 1000.0) / self._MIN_BITS_PER_FRAME
+        fps = float(np.clip(affordable, 1.0, max_fps))
+        return fps
+
+    def encode_second(
+        self,
+        start_time: float,
+        bitrate_kbps: float,
+        height: int,
+        max_fps: float,
+    ) -> list[EncodedFrame]:
+        """Encode one second of video starting at ``start_time``.
+
+        Returns the frames captured in ``[start_time, start_time + 1)`` with
+        sizes that sum to approximately the bitrate budget.
+        """
+        fps = self.frame_rate_for(bitrate_kbps, max_fps)
+        n_frames = int(round(fps))
+        if n_frames <= 0:
+            return []
+
+        # Slowly varying content activity modulates the budget (talking head
+        # vs. motion), bounded to stay within the rate controller's ballpark.
+        self._content_activity = float(
+            np.clip(self._content_activity + self.rng.normal(0.0, 0.05), 0.75, 1.25)
+        )
+        budget_bytes = bitrate_kbps * 1000.0 / 8.0 * self._content_activity
+
+        frame_interval = 1.0 / n_frames
+        mean_frame_bytes = budget_bytes / n_frames
+
+        frames: list[EncodedFrame] = []
+        for i in range(n_frames):
+            capture_time = start_time + i * frame_interval + self.rng.uniform(0.0, frame_interval * 0.1)
+            self._time_since_keyframe += frame_interval
+            is_keyframe = False
+            if self._time_since_keyframe >= self.profile.keyframe_interval_s:
+                is_keyframe = True
+                self._time_since_keyframe = 0.0
+
+            # Log-normal per-frame variability around the mean frame size; the
+            # sigma controls how distinguishable consecutive frames are.
+            size = mean_frame_bytes * float(
+                np.exp(self.rng.normal(0.0, self.profile.frame_size_sigma))
+            )
+            if is_keyframe:
+                size *= self.profile.keyframe_multiplier
+            size_bytes = max(120, int(round(size)))
+
+            frames.append(
+                EncodedFrame(
+                    frame_id=self._next_frame_id,
+                    capture_time=capture_time,
+                    size_bytes=size_bytes,
+                    height=height,
+                    is_keyframe=is_keyframe,
+                )
+            )
+            self._next_frame_id += 1
+        return frames

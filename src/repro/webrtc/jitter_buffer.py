@@ -1,0 +1,104 @@
+"""Receiver-side adaptive jitter buffer.
+
+WebRTC receivers delay decoded frames by an adaptive amount so playback stays
+smooth despite network jitter.  The paper points out (Section 5.1.4) that the
+frame jitter reported by ``webrtc-internals`` is measured *after* this buffer,
+so it differs from the network-level frame jitter the estimators can see:
+small arrival-time spikes are smoothed away, while a large spike empties the
+buffer and shows up later and larger.  This module reproduces that behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["JitterBuffer", "PlayoutEvent"]
+
+
+@dataclass(frozen=True)
+class PlayoutEvent:
+    """A frame emitted from the jitter buffer towards the decoder/renderer."""
+
+    frame_id: int
+    playout_time: float
+    completion_time: float
+    size_bytes: int
+    height: int
+
+    @property
+    def buffering_delay(self) -> float:
+        return self.playout_time - self.completion_time
+
+
+class JitterBuffer:
+    """Adaptive playout delay with a minimum render spacing.
+
+    The target delay tracks an exponentially weighted estimate of the
+    completion-time jitter (like WebRTC's inter-arrival jitter estimate); the
+    playout time of each frame is its completion time plus the target delay,
+    but never earlier than the previous playout plus the minimum render
+    interval, which is what smooths bursts of late frames into evenly spaced
+    playouts.
+    """
+
+    def __init__(
+        self,
+        min_delay_ms: float = 10.0,
+        max_delay_ms: float = 200.0,
+        min_render_interval_ms: float = 1000.0 / 60.0,
+        jitter_multiplier: float = 2.0,
+    ) -> None:
+        if min_delay_ms < 0 or max_delay_ms < min_delay_ms:
+            raise ValueError("invalid jitter buffer delay bounds")
+        self.min_delay_ms = min_delay_ms
+        self.max_delay_ms = max_delay_ms
+        self.min_render_interval = min_render_interval_ms / 1000.0
+        self.jitter_multiplier = jitter_multiplier
+        self._jitter_estimate_ms = 0.0
+        self._last_completion: float | None = None
+        self._last_interval: float | None = None
+        self._last_playout: float | None = None
+
+    @property
+    def target_delay_ms(self) -> float:
+        """Current adaptive playout delay."""
+        return float(
+            np.clip(
+                self.jitter_multiplier * self._jitter_estimate_ms,
+                self.min_delay_ms,
+                self.max_delay_ms,
+            )
+        )
+
+    def _update_jitter_estimate(self, completion_time: float) -> None:
+        if self._last_completion is not None:
+            interval = completion_time - self._last_completion
+            if self._last_interval is not None:
+                deviation_ms = abs(interval - self._last_interval) * 1000.0
+                # Same 1/16 EWMA gain WebRTC uses for its jitter estimate.
+                self._jitter_estimate_ms += (deviation_ms - self._jitter_estimate_ms) / 16.0
+            self._last_interval = interval
+        self._last_completion = completion_time
+
+    def submit(self, frame_id: int, completion_time: float, size_bytes: int, height: int) -> PlayoutEvent:
+        """Submit a completed frame; returns its playout event."""
+        self._update_jitter_estimate(completion_time)
+        playout = completion_time + self.target_delay_ms / 1000.0
+        if self._last_playout is not None:
+            playout = max(playout, self._last_playout + self.min_render_interval)
+        self._last_playout = playout
+        return PlayoutEvent(
+            frame_id=frame_id,
+            playout_time=playout,
+            completion_time=completion_time,
+            size_bytes=size_bytes,
+            height=height,
+        )
+
+    def reset(self) -> None:
+        self._jitter_estimate_ms = 0.0
+        self._last_completion = None
+        self._last_interval = None
+        self._last_playout = None

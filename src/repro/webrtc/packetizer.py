@@ -1,0 +1,144 @@
+"""Frame packetisation.
+
+WebRTC senders fragment each encoded frame into RTP packets and transmit them
+back to back (a microburst).  To keep forward error correction efficient the
+packets of a frame are made (nearly) equal-sized (Section 3.2.1) -- this is
+the property the IP/UDP Heuristic exploits.  Meet's VP8/VP9 payloadisation
+violates the equal-size property for a fraction of frames, which the paper
+identifies as the cause of the heuristic's frame "splits"; the packetiser
+reproduces that by occasionally emitting unequal fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.packet import IPv4Header, MediaType, Packet, UDPHeader
+from repro.rtp.header import RTPHeader, VIDEO_CLOCK_RATE
+from repro.webrtc.codec import EncodedFrame
+from repro.webrtc.profiles import VCAProfile
+
+__all__ = ["Packetizer", "PacketizerConfig"]
+
+#: Fixed RTP header length (bytes) included in every packet's UDP payload.
+RTP_HEADER_LEN = 12
+#: Per-packet payload overhead beyond the RTP header and the encoded frame
+#: bytes: codec payload descriptors, RTP header extensions, FEC metadata.
+#: These bytes are on the wire (so the IP/UDP heuristic counts them) but are
+#: not part of the application-level video bitrate that webrtc-internals
+#: reports -- the source of the heuristics' systematic bitrate over-estimation
+#: discussed in Section 5.1.3.
+PAYLOAD_OVERHEAD_LEN = 24
+#: Pacing gap between packets of the same frame burst (seconds).  Real WebRTC
+#: pacers clock packets out at sub-millisecond spacing.
+INTRA_FRAME_GAP = 0.0006
+
+
+@dataclass
+class PacketizerConfig:
+    """Addressing and stream identity for one packetised video stream."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    ssrc: int
+    payload_type: int
+
+
+class Packetizer:
+    """Fragment encoded frames into annotated RTP/UDP packets."""
+
+    def __init__(
+        self,
+        profile: VCAProfile,
+        config: PacketizerConfig,
+        rng: np.random.Generator,
+        environment: str = "lab",
+    ) -> None:
+        self.profile = profile
+        self.config = config
+        self.rng = rng
+        self.environment = environment
+        self._sequence = int(rng.integers(0, 1 << 15))
+        self._timestamp_base = int(rng.integers(0, 1 << 30))
+
+    def _next_sequence(self) -> int:
+        value = self._sequence & 0xFFFF
+        self._sequence += 1
+        return value
+
+    def _rtp_timestamp(self, capture_time: float) -> int:
+        return (self._timestamp_base + int(capture_time * VIDEO_CLOCK_RATE)) & 0xFFFFFFFF
+
+    def packetize(self, frame: EncodedFrame) -> list[Packet]:
+        """Fragment ``frame`` into RTP packets departing as a microburst."""
+        media_budget = self.profile.mtu_payload - RTP_HEADER_LEN - PAYLOAD_OVERHEAD_LEN
+        n_packets = max(1, int(np.ceil(frame.size_bytes / media_budget)))
+        sizes = self._fragment_sizes(frame.size_bytes, n_packets)
+
+        rtp_timestamp = self._rtp_timestamp(frame.capture_time)
+        packets: list[Packet] = []
+        for index, media_bytes in enumerate(sizes):
+            is_last = index == len(sizes) - 1
+            header = RTPHeader(
+                payload_type=self.config.payload_type,
+                sequence_number=self._next_sequence(),
+                timestamp=rtp_timestamp,
+                ssrc=self.config.ssrc,
+                marker=is_last,
+            )
+            payload_size = media_bytes + RTP_HEADER_LEN + PAYLOAD_OVERHEAD_LEN
+            packets.append(
+                Packet(
+                    timestamp=frame.capture_time + index * INTRA_FRAME_GAP,
+                    ip=IPv4Header(src=self.config.src_ip, dst=self.config.dst_ip),
+                    udp=UDPHeader(
+                        src_port=self.config.src_port,
+                        dst_port=self.config.dst_port,
+                        length=payload_size + 8,
+                    ),
+                    payload_size=payload_size,
+                    rtp=header,
+                    media_type=MediaType.VIDEO,
+                    frame_id=frame.frame_id,
+                    metadata={
+                        "frame_packets": len(sizes),
+                        "frame_size": frame.size_bytes,
+                        "height": frame.height,
+                        "keyframe": frame.is_keyframe,
+                        # Application-level (codec) bytes in this packet; what
+                        # webrtc-internals counts toward the received bitrate.
+                        "app_bytes": media_bytes,
+                    },
+                )
+            )
+        return packets
+
+    def _fragment_sizes(self, frame_bytes: int, n_packets: int) -> list[int]:
+        """Split ``frame_bytes`` into ``n_packets`` media payload sizes.
+
+        The normal path splits as evenly as possible (sizes differ by at most
+        one byte).  With the profile's unequal-fragmentation probability the
+        split is skewed so that intra-frame differences exceed the heuristic's
+        2-byte threshold, reproducing the VP8/VP9 behaviour the paper reports
+        for Meet.
+        """
+        unequal_prob = self.profile.fragmentation_prob_for(self.environment)
+        if n_packets > 1 and self.rng.random() < unequal_prob:
+            return self._unequal_split(frame_bytes, n_packets)
+        base = frame_bytes // n_packets
+        remainder = frame_bytes - base * n_packets
+        return [base + (1 if i < remainder else 0) for i in range(n_packets)]
+
+    def _unequal_split(self, frame_bytes: int, n_packets: int) -> list[int]:
+        """A skewed split whose fragment sizes differ by tens of bytes."""
+        weights = self.rng.uniform(0.6, 1.4, size=n_packets)
+        weights /= weights.sum()
+        sizes = np.maximum(60, (weights * frame_bytes).astype(int))
+        # Fix rounding so the fragments still add up to the frame size.
+        deficit = frame_bytes - int(sizes.sum())
+        sizes[-1] = max(60, sizes[-1] + deficit)
+        return [int(s) for s in sizes]

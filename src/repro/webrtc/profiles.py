@@ -1,0 +1,220 @@
+"""Per-VCA behaviour profiles.
+
+The paper evaluates three WebRTC VCAs -- Google Meet, Microsoft Teams and
+Cisco Webex -- and observes systematic differences between them: codecs (Meet
+uses VP8/VP9, Teams and Webex use H.264), resolution ladders (3 heights for
+Meet in the lab, 11 for Teams, 2 for Webex), typical bitrates (median 1700
+kbps for Teams vs 500 kbps for Webex in the lab), payload-type numbering,
+and -- crucially for the IP/UDP Heuristic -- how cleanly frames fragment into
+equal-sized packets (Meet's VP8/VP9 produces a noticeable fraction of frames
+with intra-frame packet-size differences above 2 bytes; Section 5.2.1).
+
+A :class:`VCAProfile` gathers those knobs so the rest of the simulator is
+VCA-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtp.payload_types import (
+    LAB_PAYLOAD_TYPES,
+    REAL_WORLD_PAYLOAD_TYPES,
+    PayloadTypeMap,
+)
+
+__all__ = ["ResolutionRung", "VCAProfile", "VCA_PROFILES", "get_profile", "VCA_NAMES"]
+
+
+@dataclass(frozen=True)
+class ResolutionRung:
+    """One rung of a VCA's resolution ladder.
+
+    The encoder sends at ``height`` whenever the target bitrate is at least
+    ``min_bitrate_kbps`` (and below the next rung's threshold).
+    """
+
+    height: int
+    min_bitrate_kbps: float
+    max_fps: float = 30.0
+
+
+@dataclass(frozen=True)
+class VCAProfile:
+    """Static description of one VCA's media pipeline."""
+
+    name: str
+    codec: str
+    payload_types: PayloadTypeMap
+    payload_types_real_world: PayloadTypeMap
+    ladder: tuple[ResolutionRung, ...]
+    ladder_real_world: tuple[ResolutionRung, ...]
+    max_bitrate_kbps: float
+    min_bitrate_kbps: float
+    start_bitrate_kbps: float
+    max_fps: float = 30.0
+    #: Maximum RTP payload bytes per video packet (media + RTP header).
+    mtu_payload: int = 1130
+    #: Probability that a frame fragments into unequal-sized packets
+    #: (intra-frame size difference above the heuristic's 2-byte threshold).
+    unequal_fragmentation_prob: float = 0.01
+    #: Same probability in the real-world deployment (codec/config drift).
+    unequal_fragmentation_prob_real_world: float = 0.01
+    #: Whether the VCA runs a separate retransmission (RTX) stream.
+    uses_rtx: bool = True
+    #: Size of RTX keep-alive packets (bytes of UDP payload).
+    keepalive_size: int = 304
+    #: Audio packet size range in bytes (UDP payload), per Figure 1.
+    audio_size_range: tuple[int, int] = (89, 385)
+    #: Audio packets per second (OPUS at 20 ms framing).
+    audio_packet_rate: float = 50.0
+    #: Paper-reported optimal heuristic parameters (Section 4.3).
+    heuristic_lookback: int = 2
+    heuristic_size_threshold: float = 2.0
+    #: Media classification threshold V_min in bytes (Section 3.1).
+    video_size_threshold: int = 450
+    #: Burstiness of the encoder output (lognormal sigma of frame sizes).
+    frame_size_sigma: float = 0.22
+    #: Keyframe interval in seconds and size multiplier.
+    keyframe_interval_s: float = 10.0
+    keyframe_multiplier: float = 3.0
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def ladder_for(self, environment: str) -> tuple[ResolutionRung, ...]:
+        """Resolution ladder for ``environment`` ("lab" or "real_world")."""
+        if environment == "lab":
+            return self.ladder
+        if environment == "real_world":
+            return self.ladder_real_world
+        raise ValueError(f"unknown environment: {environment!r}")
+
+    def payload_types_for(self, environment: str) -> PayloadTypeMap:
+        """Payload-type map for ``environment`` ("lab" or "real_world")."""
+        if environment == "lab":
+            return self.payload_types
+        if environment == "real_world":
+            return self.payload_types_real_world
+        raise ValueError(f"unknown environment: {environment!r}")
+
+    def fragmentation_prob_for(self, environment: str) -> float:
+        if environment == "lab":
+            return self.unequal_fragmentation_prob
+        if environment == "real_world":
+            return self.unequal_fragmentation_prob_real_world
+        raise ValueError(f"unknown environment: {environment!r}")
+
+    def rung_for_bitrate(self, bitrate_kbps: float, environment: str = "lab") -> ResolutionRung:
+        """The highest ladder rung whose threshold the bitrate clears."""
+        ladder = sorted(self.ladder_for(environment), key=lambda r: r.min_bitrate_kbps)
+        selected = ladder[0]
+        for rung in ladder:
+            if bitrate_kbps >= rung.min_bitrate_kbps:
+                selected = rung
+        return selected
+
+    @property
+    def heights(self) -> tuple[int, ...]:
+        return tuple(sorted({rung.height for rung in self.ladder}))
+
+
+def _meet_profile() -> VCAProfile:
+    # Lab data shows only 180/270/360 for Meet; real-world adds 540 and 720
+    # thanks to higher access speeds (Section 5.2.4).
+    lab_ladder = (
+        ResolutionRung(height=180, min_bitrate_kbps=0.0, max_fps=24.0),
+        ResolutionRung(height=270, min_bitrate_kbps=350.0, max_fps=30.0),
+        ResolutionRung(height=360, min_bitrate_kbps=700.0, max_fps=30.0),
+    )
+    real_ladder = lab_ladder + (
+        ResolutionRung(height=540, min_bitrate_kbps=1400.0, max_fps=30.0),
+        ResolutionRung(height=720, min_bitrate_kbps=2200.0, max_fps=30.0),
+    )
+    return VCAProfile(
+        name="meet",
+        codec="vp9",
+        payload_types=LAB_PAYLOAD_TYPES["meet"],
+        payload_types_real_world=REAL_WORLD_PAYLOAD_TYPES["meet"],
+        ladder=lab_ladder,
+        ladder_real_world=real_ladder,
+        max_bitrate_kbps=2600.0,
+        min_bitrate_kbps=120.0,
+        start_bitrate_kbps=800.0,
+        max_fps=30.0,
+        # VP8/VP9 packetisation splits a noticeable fraction of frames into
+        # unequal packets: 4.26% of frames in the lab, 14.48% in the wild
+        # (Section 5.2.1).
+        unequal_fragmentation_prob=0.0426,
+        unequal_fragmentation_prob_real_world=0.1448,
+        heuristic_lookback=3,
+        frame_size_sigma=0.26,
+    )
+
+
+def _teams_profile() -> VCAProfile:
+    heights = (90, 120, 180, 240, 270, 360, 404, 480, 540, 640, 720)
+    thresholds = (0.0, 120.0, 240.0, 400.0, 550.0, 750.0, 1000.0, 1300.0, 1700.0, 2100.0, 2600.0)
+    ladder = tuple(
+        ResolutionRung(height=h, min_bitrate_kbps=t, max_fps=30.0)
+        for h, t in zip(heights, thresholds)
+    )
+    return VCAProfile(
+        name="teams",
+        codec="h264",
+        payload_types=LAB_PAYLOAD_TYPES["teams"],
+        payload_types_real_world=REAL_WORLD_PAYLOAD_TYPES["teams"],
+        ladder=ladder,
+        ladder_real_world=ladder,
+        max_bitrate_kbps=3200.0,
+        min_bitrate_kbps=150.0,
+        start_bitrate_kbps=1500.0,
+        max_fps=30.0,
+        # H.264 packetisation produces near-equal packets (98.56% of frames
+        # within 2 bytes, Appendix D.5).
+        unequal_fragmentation_prob=0.0144,
+        unequal_fragmentation_prob_real_world=0.02,
+        heuristic_lookback=2,
+        frame_size_sigma=0.2,
+    )
+
+
+def _webex_profile() -> VCAProfile:
+    ladder = (
+        ResolutionRung(height=180, min_bitrate_kbps=0.0, max_fps=25.0),
+        ResolutionRung(height=360, min_bitrate_kbps=450.0, max_fps=30.0),
+    )
+    return VCAProfile(
+        name="webex",
+        codec="h264",
+        payload_types=LAB_PAYLOAD_TYPES["webex"],
+        payload_types_real_world=REAL_WORLD_PAYLOAD_TYPES["webex"],
+        ladder=ladder,
+        ladder_real_world=ladder,
+        max_bitrate_kbps=1300.0,
+        min_bitrate_kbps=100.0,
+        start_bitrate_kbps=500.0,
+        max_fps=30.0,
+        # 99.70% of Webex frames fragment into equal packets, and most frames
+        # are at most 3 packets (Appendix D.5), so small frames dominate.
+        unequal_fragmentation_prob=0.003,
+        unequal_fragmentation_prob_real_world=0.005,
+        heuristic_lookback=1,
+        frame_size_sigma=0.18,
+    )
+
+
+#: The three evaluated VCAs.
+VCA_PROFILES: dict[str, VCAProfile] = {
+    "meet": _meet_profile(),
+    "teams": _teams_profile(),
+    "webex": _webex_profile(),
+}
+
+VCA_NAMES: tuple[str, ...] = tuple(VCA_PROFILES)
+
+
+def get_profile(name: str) -> VCAProfile:
+    """Look up a VCA profile by (case-insensitive) name."""
+    key = name.lower()
+    if key not in VCA_PROFILES:
+        raise KeyError(f"unknown VCA {name!r}; known VCAs: {sorted(VCA_PROFILES)}")
+    return VCA_PROFILES[key]

@@ -1,0 +1,94 @@
+"""GCC-style congestion control for the simulated sender.
+
+WebRTC senders adapt their video bitrate with the Google Congestion Control
+algorithm: a delay-based estimator that backs off when queueing delay grows,
+combined with a loss-based controller (back off sharply above ~10% loss, hold
+between 2% and 10%, probe upward below 2%).  This module implements a compact
+version of that logic driven by the per-second feedback the simulated
+receiver reports (loss fraction, receive rate, queueing delay).
+
+The controller's dynamics are what create the correlation between network
+conditions and the ground-truth QoE metrics that the paper's ML models learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.webrtc.profiles import VCAProfile
+
+__all__ = ["RateController", "FeedbackReport"]
+
+
+@dataclass(frozen=True)
+class FeedbackReport:
+    """Receiver feedback covering the previous feedback interval (~1 s)."""
+
+    loss_fraction: float
+    receive_rate_kbps: float
+    queue_delay_ms: float
+    rtt_ms: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_fraction <= 1.0:
+            raise ValueError(f"loss_fraction out of range: {self.loss_fraction}")
+        if self.receive_rate_kbps < 0:
+            raise ValueError("receive_rate_kbps must be non-negative")
+
+
+class RateController:
+    """Loss- and delay-based target bitrate controller."""
+
+    #: Loss fraction above which the sender backs off multiplicatively.
+    HIGH_LOSS = 0.10
+    #: Loss fraction below which the sender may probe upward.
+    LOW_LOSS = 0.02
+    #: Queueing delay (ms) treated as a congestion signal.
+    OVERUSE_DELAY_MS = 60.0
+
+    def __init__(self, profile: VCAProfile, rng: np.random.Generator | None = None) -> None:
+        self.profile = profile
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.target_kbps = profile.start_bitrate_kbps
+        self._since_decrease = 0
+
+    def update(self, feedback: FeedbackReport) -> float:
+        """Fold one feedback report in; returns the new target bitrate (kbps)."""
+        target = self.target_kbps
+
+        if feedback.loss_fraction > self.HIGH_LOSS:
+            # Loss-based multiplicative decrease, as in GCC:
+            # rate *= (1 - 0.5 * loss).
+            target *= 1.0 - 0.5 * feedback.loss_fraction
+            self._since_decrease = 0
+        elif feedback.queue_delay_ms > self.OVERUSE_DELAY_MS:
+            # Delay-based overuse: converge toward a fraction of the measured
+            # receive rate so the bottleneck queue can drain.
+            if feedback.receive_rate_kbps > 0:
+                target = min(target, 0.85 * feedback.receive_rate_kbps)
+            else:
+                target *= 0.85
+            self._since_decrease = 0
+        elif feedback.loss_fraction >= self.LOW_LOSS:
+            # Hold region.
+            self._since_decrease += 1
+        else:
+            # Probe upward: multiplicative while far from the ceiling, gentler
+            # (additive) right after a decrease.
+            self._since_decrease += 1
+            if self._since_decrease <= 2:
+                target += 50.0
+            else:
+                target *= 1.08
+
+        jitter = self.rng.normal(0.0, 10.0)
+        self.target_kbps = float(
+            np.clip(target + jitter, self.profile.min_bitrate_kbps, self.profile.max_bitrate_kbps)
+        )
+        return self.target_kbps
+
+    def reset(self) -> None:
+        self.target_kbps = self.profile.start_bitrate_kbps
+        self._since_decrease = 0

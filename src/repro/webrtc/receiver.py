@@ -1,0 +1,177 @@
+"""Receiver model: frame reassembly, jitter buffering and per-second statistics.
+
+The receiver is the *application*, so unlike the network-side estimators it
+has full knowledge of frame boundaries (via RTP timestamps / the simulator's
+frame annotations).  It reassembles frames from delivered packets, plays them
+out through the jitter buffer, and produces the per-second ground-truth QoE
+log the paper obtains from ``webrtc-internals``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.packet import MediaType, Packet
+from repro.webrtc.jitter_buffer import JitterBuffer, PlayoutEvent
+from repro.webrtc.stats import GroundTruthLog, PerSecondStats
+
+__all__ = ["Receiver", "FrameAssemblyState"]
+
+
+@dataclass
+class FrameAssemblyState:
+    """Packets received so far for one in-flight frame."""
+
+    frame_id: int
+    expected_packets: int
+    height: int
+    received_packets: int = 0
+    received_bytes: int = 0
+    first_arrival: float = 0.0
+    last_arrival: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.received_packets >= self.expected_packets
+
+
+class Receiver:
+    """Consumes delivered packets and produces ground-truth statistics."""
+
+    #: Frames still incomplete this long after their first packet are abandoned
+    #: (long enough for one NACK/RTX recovery round trip).
+    FRAME_TIMEOUT_S = 1.5
+
+    def __init__(self, vca: str, call_id: str, jitter_buffer: JitterBuffer | None = None) -> None:
+        self.vca = vca
+        self.call_id = call_id
+        self.jitter_buffer = jitter_buffer if jitter_buffer is not None else JitterBuffer()
+        self._in_flight: dict[int, FrameAssemblyState] = {}
+        self._playouts: list[PlayoutEvent] = []
+        self._video_byte_events: list[tuple[float, int]] = []
+        self._last_height = 0
+
+    # -- packet processing ----------------------------------------------------
+
+    def process(self, packets: list[Packet]) -> list[PlayoutEvent]:
+        """Process a batch of delivered packets (in arrival order)."""
+        events: list[PlayoutEvent] = []
+        for packet in sorted(packets, key=lambda p: p.timestamp):
+            events.extend(self._process_one(packet))
+            self._expire_stale_frames(packet.timestamp)
+        return events
+
+    def _process_one(self, packet: Packet) -> list[PlayoutEvent]:
+        # Frame reassembly consumes original video packets and RTX
+        # retransmissions that repair them (both carry a frame id); audio,
+        # keep-alives and control packets are ignored.
+        if packet.frame_id is None or not (
+            packet.media_type is MediaType.VIDEO or packet.media_type is MediaType.VIDEO_RTX
+        ):
+            return []
+        # webrtc-internals counts application (codec) bytes, not wire bytes.
+        app_bytes = int(packet.metadata.get("app_bytes", packet.media_payload_size))
+        self._video_byte_events.append((packet.timestamp, app_bytes))
+
+        state = self._in_flight.get(packet.frame_id)
+        if state is None:
+            state = FrameAssemblyState(
+                frame_id=packet.frame_id,
+                expected_packets=int(packet.metadata.get("frame_packets", 1)),
+                height=int(packet.metadata.get("height", 0)),
+                first_arrival=packet.timestamp,
+            )
+            self._in_flight[packet.frame_id] = state
+        state.received_packets += 1
+        state.received_bytes += packet.media_payload_size
+        state.last_arrival = max(state.last_arrival, packet.timestamp)
+
+        if not state.complete:
+            return []
+        del self._in_flight[packet.frame_id]
+        self._last_height = state.height or self._last_height
+        event = self.jitter_buffer.submit(
+            frame_id=state.frame_id,
+            completion_time=state.last_arrival,
+            size_bytes=state.received_bytes,
+            height=state.height,
+        )
+        self._playouts.append(event)
+        return [event]
+
+    def _expire_stale_frames(self, now: float) -> None:
+        stale = [
+            frame_id
+            for frame_id, state in self._in_flight.items()
+            if now - state.first_arrival > self.FRAME_TIMEOUT_S
+        ]
+        for frame_id in stale:
+            del self._in_flight[frame_id]
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def playout_events(self) -> list[PlayoutEvent]:
+        return list(self._playouts)
+
+    def frames_decoded(self) -> int:
+        return len(self._playouts)
+
+    def build_log(self, duration_s: int, start_time: float = 0.0) -> GroundTruthLog:
+        """Per-second ground-truth log covering ``duration_s`` seconds.
+
+        Frame rate counts frames whose *playout* time falls in the second (the
+        webrtc-internals framesReceived/s counter); frame jitter is the
+        standard deviation of inter-playout gaps within the second; bitrate is
+        the video payload bytes received in the second; resolution is the most
+        common height among the frames played in the second (carrying the last
+        known height through seconds with no frames).
+        """
+        if duration_s < 1:
+            raise ValueError("duration_s must be >= 1")
+        log = GroundTruthLog(vca=self.vca, call_id=self.call_id, start_time=start_time)
+
+        playouts_by_second: dict[int, list[PlayoutEvent]] = {}
+        for event in self._playouts:
+            second = int(event.playout_time - start_time)
+            playouts_by_second.setdefault(second, []).append(event)
+
+        bytes_by_second: dict[int, int] = {}
+        for timestamp, size in self._video_byte_events:
+            second = int(timestamp - start_time)
+            bytes_by_second[second] = bytes_by_second.get(second, 0) + size
+
+        last_height = 0
+        previous_playout: float | None = None
+        for second in range(duration_s):
+            events = sorted(playouts_by_second.get(second, []), key=lambda e: e.playout_time)
+            frame_count = len(events)
+
+            # Inter-frame gaps within the second, seeded with the gap back to
+            # the last frame of the previous second so jitter is continuous.
+            gaps: list[float] = []
+            for event in events:
+                if previous_playout is not None:
+                    gaps.append(event.playout_time - previous_playout)
+                previous_playout = event.playout_time
+            jitter_ms = float(np.std(gaps) * 1000.0) if len(gaps) >= 2 else 0.0
+
+            if events:
+                heights = [e.height for e in events if e.height > 0]
+                if heights:
+                    values, counts = np.unique(heights, return_counts=True)
+                    last_height = int(values[np.argmax(counts)])
+
+            bytes_received = bytes_by_second.get(second, 0)
+            log.append(
+                PerSecondStats(
+                    second=second,
+                    frames_received=float(frame_count),
+                    bitrate_kbps=bytes_received * 8.0 / 1000.0,
+                    frame_jitter_ms=jitter_ms,
+                    frame_height=last_height,
+                )
+            )
+        return log

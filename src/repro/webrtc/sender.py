@@ -1,0 +1,129 @@
+"""Sender model: encoder + packetiser + audio + RTX + rate control.
+
+A :class:`VCASender` generates one second of departing packets at a time.
+The resolution and frame rate for the second are chosen from the VCA's ladder
+based on the rate controller's current target bitrate, mirroring how the real
+applications adapt (and producing the per-VCA ground-truth distributions of
+Figure A.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.webrtc.audio import AudioStream
+from repro.webrtc.codec import VideoEncoder
+from repro.webrtc.packetizer import Packetizer, PacketizerConfig
+from repro.webrtc.profiles import VCAProfile
+from repro.webrtc.rate_control import FeedbackReport, RateController
+from repro.webrtc.retransmission import RetransmissionStream, generate_control_handshake
+
+__all__ = ["VCASender", "SenderSecond"]
+
+
+@dataclass(frozen=True)
+class SenderSecond:
+    """What the sender emitted during one second."""
+
+    second: int
+    packets: list[Packet]
+    target_bitrate_kbps: float
+    frame_rate: float
+    height: int
+    n_frames: int
+
+
+class VCASender:
+    """Generates the full uplink packet stream of one VCA participant."""
+
+    def __init__(
+        self,
+        profile: VCAProfile,
+        rng: np.random.Generator,
+        environment: str = "lab",
+        src_ip: str = "10.0.0.2",
+        dst_ip: str = "10.0.0.1",
+        src_port: int = 3478,
+        dst_port: int = 50000,
+    ) -> None:
+        self.profile = profile
+        self.rng = rng
+        self.environment = environment
+        payload_types = profile.payload_types_for(environment)
+
+        self.video_config = PacketizerConfig(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            src_port=src_port,
+            dst_port=dst_port,
+            ssrc=int(rng.integers(1, 2**32 - 1)),
+            payload_type=payload_types.video,
+        )
+        self.audio_config = PacketizerConfig(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            src_port=src_port,
+            dst_port=dst_port,
+            ssrc=int(rng.integers(1, 2**32 - 1)),
+            payload_type=payload_types.audio,
+        )
+        self.encoder = VideoEncoder(profile, rng, environment=environment)
+        self.packetizer = Packetizer(profile, self.video_config, rng, environment=environment)
+        self.audio = AudioStream(profile, self.audio_config, rng)
+        self.rate_controller = RateController(profile, rng)
+
+        self.rtx: RetransmissionStream | None = None
+        rtx_payload_type = payload_types.video_rtx
+        if profile.uses_rtx and rtx_payload_type is not None:
+            rtx_config = PacketizerConfig(
+                src_ip=src_ip,
+                dst_ip=dst_ip,
+                src_port=src_port,
+                dst_port=dst_port,
+                ssrc=int(rng.integers(1, 2**32 - 1)),
+                payload_type=rtx_payload_type,
+            )
+            self.rtx = RetransmissionStream(profile, rtx_config, rng)
+
+    def control_handshake(self, start_time: float = 0.0) -> list[Packet]:
+        """DTLS/STUN packets opening the call (non-RTP control traffic)."""
+        return generate_control_handshake(self.video_config, self.rng, start_time=start_time)
+
+    def generate_second(
+        self, second: int, lost_video_packets: list[Packet] | None = None
+    ) -> SenderSecond:
+        """Generate all packets departing in ``[second, second + 1)``."""
+        start_time = float(second)
+        target = self.rate_controller.target_kbps
+        rung = self.profile.rung_for_bitrate(target, environment=self.environment)
+        fps_limit = min(rung.max_fps, self.profile.max_fps)
+
+        frames = self.encoder.encode_second(
+            start_time=start_time,
+            bitrate_kbps=target,
+            height=rung.height,
+            max_fps=fps_limit,
+        )
+        packets: list[Packet] = []
+        for frame in frames:
+            packets.extend(self.packetizer.packetize(frame))
+        packets.extend(self.audio.generate_second(start_time))
+        if self.rtx is not None:
+            packets.extend(self.rtx.generate_second(start_time, lost_video_packets))
+        packets.sort(key=lambda p: p.timestamp)
+
+        return SenderSecond(
+            second=second,
+            packets=packets,
+            target_bitrate_kbps=target,
+            frame_rate=self.encoder.frame_rate_for(target, fps_limit),
+            height=rung.height,
+            n_frames=len(frames),
+        )
+
+    def apply_feedback(self, feedback: FeedbackReport) -> float:
+        """Forward receiver feedback to the rate controller."""
+        return self.rate_controller.update(feedback)

@@ -1,0 +1,79 @@
+"""Unit tests for the analysis/reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import cdf_table, empirical_cdf, fraction_at_or_below
+from repro.analysis.reporting import (
+    format_confusion_matrix,
+    format_feature_importances,
+    format_method_comparison,
+    format_series,
+    format_table,
+)
+from repro.analysis.transferability import TransferabilityResult, transferability_table
+from repro.core.evaluation import EvaluationDataset, compare_methods
+
+
+class TestCDF:
+    def test_empirical_cdf_monotone(self):
+        values, fractions = empirical_cdf([5.0, 1.0, 3.0])
+        assert list(values) == [1.0, 3.0, 5.0]
+        assert list(fractions) == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+
+    def test_fraction_at_or_below(self):
+        assert fraction_at_or_below([1, 2, 3, 4], 2.5) == 0.5
+
+    def test_cdf_table_at_points(self):
+        table = cdf_table([1.0, 2.0, 3.0, 4.0], points=[0.0, 2.0, 10.0])
+        assert table[0] == (0.0, 0.0)
+        assert table[1] == (2.0, 0.5)
+        assert table[2] == (10.0, 1.0)
+
+    def test_cdf_table_quantiles(self):
+        table = cdf_table(np.arange(100), n_points=5)
+        assert len(table) == 5
+        assert table[0][1] == 0.0 and table[-1][1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+        with pytest.raises(ValueError):
+            fraction_at_or_below([], 1.0)
+
+
+class TestReporting:
+    def test_format_table_contains_all_cells(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", "y"]], title="T")
+        assert "T" in text and "a" in text and "2.50" in text and "y" in text
+
+    def test_format_series(self):
+        text = format_series("fig", [1, 2], [0.1, 0.2], x_label="loss", y_label="mae")
+        assert "loss" in text and "mae" in text and "0.20" in text
+
+    def test_format_confusion_matrix_percentages(self):
+        matrix = np.array([[0.9, 0.1], [0.25, 0.75]])
+        text = format_confusion_matrix(matrix, ["low", "high"])
+        assert "90.00%" in text and "75.00%" in text
+
+    def test_format_feature_importances(self):
+        text = format_feature_importances([("# bytes", 0.5), ("# packets", 0.25)])
+        assert "# bytes" in text and "50.0%" in text
+
+    def test_format_method_comparison(self, teams_calls_small):
+        dataset = EvaluationDataset.from_calls(teams_calls_small)
+        results = compare_methods(dataset, "frame_rate", methods=("ipudp_heuristic", "rtp_heuristic"))
+        text = format_method_comparison(results, "frame_rate")
+        assert "IP/UDP Heuristic" in text and "RTP Heuristic" in text and "MAE" in text
+
+
+class TestTransferability:
+    def test_table_covers_common_vcas(self, teams_calls_small):
+        dataset = EvaluationDataset.from_calls(teams_calls_small)
+        results = transferability_table(
+            {"teams": dataset}, {"teams": dataset, "webex": dataset}, metric="frame_rate", n_estimators=8
+        )
+        assert all(isinstance(r, TransferabilityResult) for r in results)
+        assert {r.vca for r in results} == {"teams"}
+        assert {r.method for r in results} == {"ipudp_ml", "rtp_ml"}
+        assert all(r.mae >= 0.0 for r in results)

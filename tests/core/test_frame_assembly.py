@@ -1,0 +1,115 @@
+"""Unit tests for Algorithm 1 (frame assembly) and the frame-size analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.frame_assembly import (
+    FrameAssembler,
+    assemble_frames,
+    inter_frame_size_differences,
+    intra_frame_size_differences,
+)
+from repro.net.packet import IPv4Header, MediaType, Packet, UDPHeader
+
+
+def make_packet(timestamp, size, frame_id=None):
+    return Packet(
+        timestamp=timestamp,
+        ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2"),
+        udp=UDPHeader(src_port=1, dst_port=2),
+        payload_size=size,
+        media_type=MediaType.VIDEO,
+        frame_id=frame_id,
+    )
+
+
+class TestFrameAssembler:
+    def test_equal_sized_packets_form_one_frame(self):
+        packets = [make_packet(0.001 * i, 1000) for i in range(5)]
+        frames = assemble_frames(packets, delta_size=2, lookback=2)
+        assert len(frames) == 1
+        assert frames[0].n_packets == 5
+
+    def test_size_change_starts_new_frame(self):
+        packets = [make_packet(0.001, 1000), make_packet(0.002, 1000), make_packet(0.034, 950), make_packet(0.035, 950)]
+        frames = assemble_frames(packets, delta_size=2, lookback=2)
+        assert len(frames) == 2
+        assert [f.n_packets for f in frames] == [2, 2]
+
+    def test_every_packet_assigned_exactly_once(self):
+        rng = np.random.default_rng(0)
+        packets = [make_packet(0.001 * i, int(rng.integers(500, 1200))) for i in range(200)]
+        frames = assemble_frames(packets, delta_size=2, lookback=3)
+        assert sum(f.n_packets for f in frames) == 200
+
+    def test_within_threshold_difference_groups_together(self):
+        packets = [make_packet(0.001, 1000), make_packet(0.002, 1002), make_packet(0.003, 998)]
+        # With lookback 2 the third packet (998) is 4 bytes away from the most
+        # recent packet (1002) but matches the older 1000-byte packet, so all
+        # three are grouped into a single frame.
+        assert len(assemble_frames(packets, delta_size=2, lookback=2)) == 1
+        # With lookback 1 it can only compare against 1002 and opens a new frame.
+        assert len(assemble_frames(packets, delta_size=2, lookback=1)) == 2
+
+    def test_lookback_recovers_reordered_packet(self):
+        # Frame A: 1000,1000 ; frame B: 900 ; then a late packet of frame A (1000).
+        packets = [
+            make_packet(0.001, 1000),
+            make_packet(0.002, 1000),
+            make_packet(0.034, 900),
+            make_packet(0.035, 1000),
+        ]
+        with_lookback = assemble_frames(packets, delta_size=2, lookback=2)
+        without_lookback = assemble_frames(packets, delta_size=2, lookback=1)
+        # With lookback 2 the late packet rejoins frame A (2 frames total);
+        # with lookback 1 it opens a third frame.
+        assert len(with_lookback) == 2
+        assert len(without_lookback) == 3
+
+    def test_frames_ordered_and_attributes(self):
+        packets = [make_packet(0.01, 1000, frame_id=1), make_packet(0.05, 900, frame_id=2)]
+        frames = assemble_frames(packets, delta_size=2, lookback=1)
+        assert frames[0].start_time == 0.01
+        assert frames[0].end_time == 0.01
+        assert frames[0].raw_size_bytes == 1000
+        assert frames[0].size_bytes == 1000 - 12
+        assert frames[0].true_frame_ids == {1}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FrameAssembler(delta_size=-1.0)
+        with pytest.raises(ValueError):
+            FrameAssembler(lookback=0)
+
+    def test_empty_input(self):
+        assert assemble_frames([]) == []
+
+    def test_assembly_on_simulated_call_is_close_to_true_frame_count(self, webex_call):
+        """Under clean conditions the heuristic frame count should be within
+        ~20% of the true number of frames (Webex fragments most cleanly)."""
+        from repro.core.heuristic import IPUDPHeuristic
+        from repro.webrtc.profiles import get_profile
+
+        heuristic = IPUDPHeuristic.for_profile(get_profile("webex"))
+        frames = heuristic.assemble(webex_call.trace)
+        true_frames = {p.frame_id for p in webex_call.trace if p.frame_id is not None}
+        assert abs(len(frames) - len(true_frames)) / len(true_frames) < 0.25
+
+
+class TestFrameSizeDifferences:
+    def test_intra_frame_differences_small_for_clean_call(self, teams_call):
+        diffs = intra_frame_size_differences(teams_call.trace)
+        assert len(diffs) > 100
+        # The vast majority of frames fragment into near-equal packets (Fig. 2).
+        assert np.mean(diffs <= 2.0) > 0.9
+
+    def test_inter_frame_differences_usually_larger(self, teams_call):
+        inter = inter_frame_size_differences(teams_call.trace)
+        assert len(inter) > 100
+        assert np.mean(inter >= 2.0) > 0.9
+
+    def test_empty_trace(self):
+        from repro.net.trace import PacketTrace
+
+        assert len(intra_frame_size_differences(PacketTrace([]))) == 0
+        assert len(inter_frame_size_differences(PacketTrace([]))) == 0

@@ -1,0 +1,108 @@
+"""Unit tests for media classification and windowing."""
+
+import numpy as np
+import pytest
+
+from repro.core.media import MediaClassifier
+from repro.core.windows import match_windows_to_ground_truth, window_trace
+from repro.net.packet import IPv4Header, MediaType, Packet, UDPHeader
+from repro.net.trace import PacketTrace
+
+
+def make_packet(timestamp, size, media=None):
+    return Packet(
+        timestamp=timestamp,
+        ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2"),
+        udp=UDPHeader(src_port=1, dst_port=2),
+        payload_size=size,
+        media_type=media,
+    )
+
+
+class TestMediaClassifier:
+    def test_threshold_separates_sizes(self):
+        classifier = MediaClassifier(video_size_threshold=450)
+        assert classifier.is_video(make_packet(0.0, 1000))
+        assert not classifier.is_video(make_packet(0.0, 200))
+
+    def test_keepalive_size_excluded_despite_threshold(self):
+        classifier = MediaClassifier(video_size_threshold=300, keepalive_size=304)
+        assert not classifier.is_video(make_packet(0.0, 304))
+        assert classifier.is_video(make_packet(0.0, 305))
+
+    def test_keepalive_filter_can_be_disabled(self):
+        classifier = MediaClassifier(video_size_threshold=300, keepalive_size=None)
+        assert classifier.is_video(make_packet(0.0, 304))
+
+    def test_split(self):
+        classifier = MediaClassifier()
+        trace = PacketTrace([make_packet(0.0, 1000), make_packet(1.0, 150)])
+        video, non_video = classifier.split(trace)
+        assert len(video) == 1 and len(non_video) == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            MediaClassifier(video_size_threshold=0)
+
+    def test_evaluation_on_simulated_call_matches_paper_shape(self, teams_call):
+        """Video recall should be ~100% and non-video recall ~98% (Table 2)."""
+        report = MediaClassifier().evaluate(teams_call.trace)
+        assert report.video_recall > 0.98
+        assert report.nonvideo_recall > 0.90
+        assert report.nonvideo_as_video > 0  # DTLS handshake false positives
+        matrix = report.as_matrix()
+        assert matrix.shape == (2, 2)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_calibrate_from_labelled_traces(self, teams_call):
+        classifier = MediaClassifier.calibrate([teams_call.trace])
+        audio_sizes = [p.payload_size for p in teams_call.trace if p.media_type is MediaType.AUDIO]
+        assert classifier.video_size_threshold > max(audio_sizes) * 0.95
+
+    def test_calibrate_without_audio_uses_default(self):
+        classifier = MediaClassifier.calibrate([PacketTrace([make_packet(0.0, 1000)])])
+        assert classifier.video_size_threshold == MediaClassifier().video_size_threshold
+
+    def test_packets_without_ground_truth_skipped_in_evaluation(self):
+        report = MediaClassifier().evaluate(PacketTrace([make_packet(0.0, 1000)]))
+        assert report.total_video == 0 and report.total_nonvideo == 0
+        assert report.video_recall == 0.0
+
+
+class TestWindowing:
+    def test_window_trace_aligned_to_start(self):
+        trace = PacketTrace([make_packet(0.2, 100), make_packet(2.7, 100)])
+        windows = window_trace(trace, window_s=1.0, start=0.0, end=3.0)
+        assert len(windows) == 3
+        assert windows[0].start == 0.0
+        assert len(windows[0]) == 1
+        assert len(windows[1]) == 0
+        assert len(windows[2]) == 1
+
+    def test_invalid_window_size(self):
+        with pytest.raises(ValueError):
+            window_trace(PacketTrace([make_packet(0.0, 1)]), window_s=0.0)
+
+    def test_matching_skips_leading_and_trailing_seconds(self, teams_call):
+        matched = match_windows_to_ground_truth(teams_call.trace, teams_call.ground_truth, window_s=1)
+        starts = [m.window.start for m in matched]
+        assert min(starts) >= 2.0
+        assert max(starts) <= teams_call.duration_s - 2
+        assert len(matched) == teams_call.duration_s - 3
+
+    def test_matching_rows_align_with_seconds(self, teams_call):
+        matched = match_windows_to_ground_truth(teams_call.trace, teams_call.ground_truth, window_s=1)
+        for sample in matched:
+            assert sample.ground_truth.second == int(sample.window.start)
+
+    def test_matching_with_larger_window(self, teams_call):
+        matched = match_windows_to_ground_truth(teams_call.trace, teams_call.ground_truth, window_s=5)
+        assert matched, "expected at least one 5-second window"
+        for sample in matched:
+            assert sample.window.duration == 5.0
+            # Aggregated frame rate is a per-second average, so it stays in FPS range.
+            assert 0.0 <= sample.ground_truth.frames_received <= 60.0
+
+    def test_invalid_window(self, teams_call):
+        with pytest.raises(ValueError):
+            match_windows_to_ground_truth(teams_call.trace, teams_call.ground_truth, window_s=0)

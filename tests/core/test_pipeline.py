@@ -1,0 +1,67 @@
+"""Unit tests for the end-to-end QoE pipeline (public API)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import QoEPipeline
+
+
+class TestUntrainedPipeline:
+    def test_falls_back_to_heuristic(self, teams_call):
+        pipeline = QoEPipeline.for_vca("teams")
+        assert not pipeline.is_trained
+        estimates = pipeline.estimate(teams_call.trace)
+        assert estimates
+        assert all(e.source == "heuristic" for e in estimates)
+        assert all(e.resolution is None for e in estimates)
+
+    def test_estimates_cover_call_duration(self, teams_call):
+        estimates = QoEPipeline.for_vca("teams").estimate(teams_call.trace)
+        assert len(estimates) >= teams_call.duration_s - 1
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            QoEPipeline.for_vca("teams", window_s=0)
+
+
+class TestTrainedPipeline:
+    @pytest.fixture(scope="class")
+    def trained(self, teams_calls_small):
+        return QoEPipeline.for_vca("teams").train(teams_calls_small)
+
+    def test_training_flags(self, trained):
+        assert trained.is_trained
+
+    def test_ml_estimates_are_reasonable(self, trained, teams_calls_small):
+        call = teams_calls_small[0]
+        estimates = trained.estimate_call(call)
+        assert all(e.source == "ml" for e in estimates)
+        # Compare the mid-call estimates against ground truth loosely (the
+        # model saw this call during training, so it should be close).
+        by_second = {int(e.window_start): e for e in estimates}
+        errors = []
+        for row in call.ground_truth.rows[3:-2]:
+            estimate = by_second.get(row.second)
+            assert estimate is not None
+            errors.append(abs(estimate.frame_rate - row.frames_received))
+        assert np.mean(errors) < 6.0
+
+    def test_resolution_labels_predicted(self, trained, teams_calls_small):
+        estimates = trained.estimate_call(teams_calls_small[1])
+        labels = {e.resolution for e in estimates}
+        assert labels <= {"low", "medium", "high"}
+
+    def test_estimation_works_from_pcap_file(self, trained, teams_calls_small, tmp_path):
+        path = tmp_path / "call.pcap"
+        teams_calls_small[0].trace.to_pcap(path)
+        estimates = trained.estimate(path)
+        assert estimates
+        assert all(np.isfinite(e.bitrate_kbps) for e in estimates)
+
+    def test_wrong_vca_training_rejected(self, webex_call):
+        with pytest.raises(ValueError):
+            QoEPipeline.for_vca("teams").train([webex_call])
+
+    def test_training_requires_calls(self):
+        with pytest.raises(ValueError):
+            QoEPipeline.for_vca("teams").train([])

@@ -1,0 +1,134 @@
+"""Unit tests for the dataset builders (collection, lab, real-world, sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.collection import (
+    CollectionConfig,
+    collect_call,
+    collect_calls,
+    export_call,
+    load_ground_truth_json,
+)
+from repro.datasets.lab import LabDatasetConfig, PAPER_LAB_SECONDS, build_lab_dataset
+from repro.datasets.realworld import (
+    PAPER_CALL_COUNTS,
+    Household,
+    RealWorldConfig,
+    build_real_world_dataset,
+    default_households,
+)
+from repro.datasets.synthetic import SweepConfig, build_impairment_sweep
+from repro.net.trace import PacketTrace
+from repro.netem.conditions import ConditionSchedule, NetworkCondition
+
+
+class TestCollection:
+    def test_collect_call_produces_trace_and_log(self):
+        schedule = ConditionSchedule.constant(NetworkCondition(throughput_kbps=2000.0), 10)
+        result = collect_call("teams", schedule, duration_s=10, seed=1, call_id="c1")
+        assert result.config.call_id == "c1"
+        assert len(result.trace) > 0
+        assert len(result.ground_truth) == 10
+
+    def test_collect_calls_batch(self):
+        config = CollectionConfig(vca="webex", n_calls=3, duration_s=8, seed=2)
+        schedule = ConditionSchedule.constant(NetworkCondition(throughput_kbps=1000.0), 8)
+        calls = collect_calls(config, lambda index, rng: schedule)
+        assert len(calls) == 3
+        assert len({c.config.call_id for c in calls}) == 3
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CollectionConfig(vca="teams", n_calls=0)
+
+    def test_export_and_reload(self, tmp_path, teams_call):
+        pcap_path, json_path = export_call(teams_call, tmp_path)
+        assert pcap_path.exists() and json_path.exists()
+        restored_trace = PacketTrace.from_pcap(pcap_path)
+        assert len(restored_trace) == len(teams_call.trace)
+        # Endpoint addresses are anonymised in the exported pcap.
+        assert restored_trace[0].ip.src != teams_call.trace[0].ip.src
+        log = load_ground_truth_json(json_path)
+        assert len(log) == len(teams_call.ground_truth)
+        assert np.allclose(log.frame_rates, teams_call.ground_truth.frame_rates)
+
+
+class TestLabDataset:
+    def test_builds_requested_scale(self):
+        config = LabDatasetConfig(calls_per_vca=2, call_duration_s=10, vcas=("teams",), seed=3)
+        dataset = build_lab_dataset(config)
+        assert set(dataset) == {"teams"}
+        assert len(dataset["teams"]) == 2
+        assert all(call.config.environment == "lab" for call in dataset["teams"])
+
+    def test_paper_volumes_recorded(self):
+        assert PAPER_LAB_SECONDS["teams"] == 15_000
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LabDatasetConfig(calls_per_vca=0)
+        with pytest.raises(ValueError):
+            LabDatasetConfig(vcas=("zoom",))
+
+    def test_challenging_conditions_produce_varied_qoe(self):
+        config = LabDatasetConfig(calls_per_vca=3, call_duration_s=15, vcas=("teams",), seed=5)
+        dataset = build_lab_dataset(config)
+        bitrates = np.concatenate([c.ground_truth.bitrates_kbps for c in dataset["teams"]])
+        assert bitrates.std() > 100.0  # NDT-driven conditions vary the quality
+
+
+class TestRealWorldDataset:
+    def test_household_mix(self):
+        households = default_households(15)
+        assert len(households) == 15
+        assert len({h.household_id for h in households}) == 15
+        assert all(h.speed_tier_kbps >= 5000.0 for h in households)
+
+    def test_household_validation(self):
+        with pytest.raises(ValueError):
+            Household(household_id="x", isp="a", speed_tier_kbps=0.0, base_rtt_ms=10.0, wifi_quality=0.5)
+        with pytest.raises(ValueError):
+            Household(household_id="x", isp="a", speed_tier_kbps=100.0, base_rtt_ms=10.0, wifi_quality=2.0)
+
+    def test_builds_real_world_calls(self):
+        config = RealWorldConfig(calls_per_vca=2, vcas=("webex",), seed=7)
+        dataset = build_real_world_dataset(config)
+        calls = dataset["webex"]
+        assert len(calls) == 2
+        assert all(call.config.environment == "real_world" for call in calls)
+        assert all(15 <= call.duration_s <= 25 for call in calls)
+        assert all("household" in call.ground_truth.metadata for call in calls)
+
+    def test_paper_call_counts_recorded(self):
+        assert PAPER_CALL_COUNTS == {"meet": 320, "teams": 178, "webex": 417}
+
+    def test_real_world_quality_better_than_constrained_lab(self):
+        """Figure A.1 vs A.2: real-world bitrates are higher than the <10 Mbps lab."""
+        lab = build_lab_dataset(LabDatasetConfig(calls_per_vca=3, call_duration_s=12, vcas=("teams",), seed=9))
+        real = build_real_world_dataset(RealWorldConfig(calls_per_vca=3, vcas=("teams",), seed=9))
+        lab_bitrate = np.mean([c.ground_truth.bitrates_kbps[4:].mean() for c in lab["teams"]])
+        real_bitrate = np.mean([c.ground_truth.bitrates_kbps[4:].mean() for c in real["teams"]])
+        assert real_bitrate >= lab_bitrate * 0.9
+
+
+class TestImpairmentSweep:
+    def test_sweep_structure(self):
+        config = SweepConfig(profile_name="packet_loss", calls_per_value=1, call_duration_s=8, vcas=("webex",), values=(1.0, 10.0))
+        sweep = build_impairment_sweep(config)
+        assert set(sweep) == {"webex"}
+        assert set(sweep["webex"]) == {1.0, 10.0}
+        assert len(sweep["webex"][1.0]) == 1
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            SweepConfig(profile_name="solar_flares")
+
+    def test_high_loss_degrades_frame_rate(self):
+        config = SweepConfig(
+            profile_name="packet_loss", calls_per_value=1, call_duration_s=12, vcas=("teams",), values=(1.0, 20.0), seed=13
+        )
+        sweep = build_impairment_sweep(config)
+        low_loss = sweep["teams"][1.0][0].ground_truth.frame_rates[4:].mean()
+        high_loss = sweep["teams"][20.0][0].ground_truth.frame_rates[4:].mean()
+        assert high_loss <= low_loss + 2.0

@@ -1,0 +1,110 @@
+"""Unit tests for the random forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+
+
+class TestRandomForestRegressor:
+    def test_fits_and_predicts_reasonably(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=15, max_depth=8, random_state=0).fit(X, y)
+        predictions = forest.predict(X)
+        mae = np.mean(np.abs(predictions - y))
+        assert mae < 0.5
+
+    def test_number_of_estimators(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=7, max_depth=3, random_state=0).fit(X, y)
+        assert len(forest.estimators_) == 7
+
+    def test_predictions_within_target_range(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=10, max_depth=6, random_state=0).fit(X, y)
+        predictions = forest.predict(X)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    def test_reproducible_with_same_seed(self, regression_data):
+        X, y = regression_data
+        a = RandomForestRegressor(n_estimators=5, max_depth=4, random_state=42).fit(X, y)
+        b = RandomForestRegressor(n_estimators=5, max_depth=4, random_state=42).fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+    def test_different_seeds_differ(self, regression_data):
+        X, y = regression_data
+        a = RandomForestRegressor(n_estimators=5, max_depth=4, random_state=1).fit(X, y)
+        b = RandomForestRegressor(n_estimators=5, max_depth=4, random_state=2).fit(X, y)
+        assert not np.allclose(a.predict(X), b.predict(X))
+
+    def test_feature_importances_normalised(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=10, max_depth=6, random_state=0).fit(X, y)
+        assert forest.feature_importances_ is not None
+        assert np.isclose(forest.feature_importances_.sum(), 1.0)
+        assert np.all(forest.feature_importances_ >= 0)
+
+    def test_forest_beats_single_shallow_tree_generalisation(self, regression_data):
+        X, y = regression_data
+        train, test = slice(0, 300), slice(300, None)
+        from repro.ml.tree import DecisionTreeRegressor
+
+        tree = DecisionTreeRegressor(max_depth=None).fit(X[train], y[train])
+        forest = RandomForestRegressor(n_estimators=20, random_state=0).fit(X[train], y[train])
+        tree_error = np.mean(np.abs(tree.predict(X[test]) - y[test]))
+        forest_error = np.mean(np.abs(forest.predict(X[test]) - y[test]))
+        assert forest_error <= tree_error * 1.2  # bagging should not be much worse
+
+    def test_invalid_n_estimators_raises(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0).fit(X, y)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((2, 3)))
+
+    def test_without_bootstrap(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=5, bootstrap=False, random_state=0).fit(X, y)
+        assert len(forest.estimators_) == 5
+        assert np.isfinite(forest.predict(X[:10])).all()
+
+
+class TestRandomForestClassifier:
+    def test_high_training_accuracy_on_separable_data(self, classification_data):
+        X, y = classification_data
+        forest = RandomForestClassifier(n_estimators=15, max_depth=8, random_state=0).fit(X, y)
+        assert np.mean(forest.predict(X) == y) > 0.9
+
+    def test_probabilities_are_valid(self, classification_data):
+        X, y = classification_data
+        forest = RandomForestClassifier(n_estimators=10, max_depth=6, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X[:40])
+        assert proba.shape == (40, len(np.unique(y)))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0.0) and np.all(proba <= 1.0)
+
+    def test_classes_attribute_sorted_unique(self, classification_data):
+        X, y = classification_data
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert list(forest.classes_) == sorted(set(y))
+
+    def test_predictions_are_known_labels(self, classification_data):
+        X, y = classification_data
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert set(forest.predict(X)) <= set(y)
+
+    def test_single_class_training(self):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        y = np.array(["only"] * 30)
+        forest = RandomForestClassifier(n_estimators=3, random_state=0).fit(X, y)
+        assert np.all(forest.predict(X) == "only")
+
+    def test_feature_importance_identifies_informative_feature(self):
+        generator = np.random.default_rng(5)
+        X = generator.normal(size=(400, 6))
+        y = np.where(X[:, 3] > 0, "pos", "neg")
+        forest = RandomForestClassifier(n_estimators=15, max_depth=5, random_state=0).fit(X, y)
+        assert int(np.argmax(forest.feature_importances_)) == 3

@@ -1,0 +1,100 @@
+"""Unit tests for linear models and k-NN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.neighbors import KNeighborsClassifier, KNeighborsRegressor
+
+
+class TestLinearRegression:
+    def test_recovers_exact_linear_relationship(self):
+        generator = np.random.default_rng(0)
+        X = generator.normal(size=(200, 3))
+        y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5 * X[:, 2] + 4.0
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, [2.0, -1.0, 0.5], atol=1e-8)
+        assert np.isclose(model.intercept_, 4.0, atol=1e-8)
+
+    def test_without_intercept(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([2.0, 4.0, 6.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert np.isclose(model.intercept_, 0.0)
+        assert np.allclose(model.predict(X), y)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestRidgeRegression:
+    def test_reduces_to_ols_with_zero_alpha(self):
+        generator = np.random.default_rng(1)
+        X = generator.normal(size=(100, 2))
+        y = 3.0 * X[:, 0] - 2.0 * X[:, 1] + 1.0
+        ridge = RidgeRegression(alpha=0.0).fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-6)
+
+    def test_regularisation_shrinks_coefficients(self):
+        generator = np.random.default_rng(2)
+        X = generator.normal(size=(50, 3))
+        y = 5.0 * X[:, 0] + generator.normal(size=50)
+        small = RidgeRegression(alpha=0.01).fit(X, y)
+        large = RidgeRegression(alpha=1000.0).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegression().predict(np.zeros((1, 2)))
+
+
+class TestKNeighborsRegressor:
+    def test_one_neighbor_memorises_training_data(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = X[:, 0] * 2.0
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        assert np.allclose(model.predict(X), y)
+
+    def test_average_of_neighbors(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([0.0, 2.0, 100.0])
+        model = KNeighborsRegressor(n_neighbors=2).fit(X, y)
+        # Query near 0 and 1: nearest two neighbours are those points.
+        assert np.isclose(model.predict(np.array([[0.4]]))[0], 1.0)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(n_neighbors=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KNeighborsRegressor().predict(np.zeros((1, 1)))
+
+
+class TestKNeighborsClassifier:
+    def test_majority_vote(self):
+        X = np.array([[0.0], [0.1], [0.2], [5.0]])
+        y = np.array(["a", "a", "b", "b"])
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert model.predict(np.array([[0.05]]))[0] == "a"
+
+    def test_separable_problem(self, classification_data):
+        X, y = classification_data
+        model = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.8
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier().fit(np.zeros((0, 2)), np.array([]))

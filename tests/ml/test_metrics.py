@@ -1,0 +1,112 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    ErrorSummary,
+    accuracy_score,
+    confusion_matrix,
+    mean_absolute_error,
+    mean_relative_absolute_error,
+    normalized_confusion_matrix,
+    r2_score,
+    root_mean_squared_error,
+    summarize_errors,
+    within_tolerance_fraction,
+)
+
+
+class TestRegressionMetrics:
+    def test_mae_simple(self):
+        assert mean_absolute_error([1.0, 2.0, 3.0], [2.0, 2.0, 5.0]) == pytest.approx(1.0)
+
+    def test_mae_zero_for_perfect_prediction(self):
+        values = np.linspace(0, 10, 20)
+        assert mean_absolute_error(values, values) == 0.0
+
+    def test_mrae_relative_to_ground_truth(self):
+        assert mean_relative_absolute_error([100.0, 200.0], [110.0, 180.0]) == pytest.approx(0.1)
+
+    def test_mrae_guards_zero_ground_truth(self):
+        value = mean_relative_absolute_error([0.0], [1.0])
+        assert np.isfinite(value)
+
+    def test_rmse_at_least_mae(self):
+        y_true = np.array([0.0, 0.0, 0.0, 0.0])
+        y_pred = np.array([0.0, 0.0, 0.0, 4.0])
+        assert root_mean_squared_error(y_true, y_pred) >= mean_absolute_error(y_true, y_pred)
+
+    def test_r2_perfect_and_mean_predictor(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, np.full(4, y.mean())) == pytest.approx(0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    def test_within_tolerance_absolute(self):
+        frac = within_tolerance_fraction([10.0, 10.0, 10.0], [11.0, 13.0, 10.5], tolerance=2.0)
+        assert frac == pytest.approx(2.0 / 3.0)
+
+    def test_within_tolerance_relative(self):
+        # "within 25% of the ground truth bitrate"
+        frac = within_tolerance_fraction([1000.0, 1000.0], [1200.0, 1300.0], tolerance=0.25, relative=True)
+        assert frac == pytest.approx(0.5)
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(["a", "b", "a"], ["a", "b", "b"]) == pytest.approx(2.0 / 3.0)
+
+    def test_confusion_matrix_counts(self):
+        matrix, labels = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert list(labels) == ["a", "b"]
+        assert matrix[0, 0] == 1  # a predicted a
+        assert matrix[0, 1] == 1  # a predicted b
+        assert matrix[1, 1] == 1  # b predicted b
+        assert matrix.sum() == 3
+
+    def test_confusion_matrix_with_explicit_labels(self):
+        matrix, labels = confusion_matrix(["a"], ["a"], labels=["a", "b", "c"])
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 0] == 1
+
+    def test_normalized_rows_sum_to_one(self):
+        matrix, _ = normalized_confusion_matrix(["a", "a", "b", "b", "b"], ["a", "b", "b", "b", "a"])
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_normalized_handles_missing_actual_class(self):
+        matrix, labels = normalized_confusion_matrix(["a", "a"], ["a", "b"], labels=["a", "b"])
+        # Row for "b" has no actual samples -> all zeros, no NaN.
+        assert np.all(np.isfinite(matrix))
+        assert matrix[1].sum() == 0.0
+
+
+class TestErrorSummary:
+    def test_summary_fields_consistent(self):
+        y_true = np.zeros(100)
+        y_pred = np.linspace(-1.0, 1.0, 100)
+        summary = summarize_errors(y_true, y_pred)
+        assert isinstance(summary, ErrorSummary)
+        assert summary.n == 100
+        assert summary.p10 <= summary.p25 <= summary.median <= summary.p75 <= summary.p90
+        assert summary.mae == pytest.approx(np.mean(np.abs(y_pred)))
+
+    def test_relative_summary_divides_by_truth(self):
+        y_true = np.array([100.0, 100.0])
+        y_pred = np.array([150.0, 50.0])
+        summary = summarize_errors(y_true, y_pred, relative=True)
+        assert summary.median == pytest.approx(0.0)
+        assert summary.p90 <= 0.5 + 1e-9
+
+    def test_as_dict_round_trip(self):
+        summary = summarize_errors([1.0, 2.0], [1.5, 2.5])
+        data = summary.as_dict()
+        assert data["n"] == 2
+        assert data["mae"] == pytest.approx(0.5)

@@ -1,0 +1,62 @@
+"""Unit tests for preprocessing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import LabelEncoder, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        generator = np.random.default_rng(0)
+        X = generator.normal(loc=5.0, scale=3.0, size=(200, 4))
+        transformed = StandardScaler().fit_transform(X)
+        assert np.allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(transformed.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_does_not_produce_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        transformed = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(transformed))
+        assert np.allclose(transformed[:, 0], 0.0)
+
+    def test_inverse_transform_round_trip(self):
+        generator = np.random.default_rng(1)
+        X = generator.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))
+
+
+class TestLabelEncoder:
+    def test_round_trip(self):
+        labels = np.array(["meet", "teams", "webex", "teams"])
+        encoder = LabelEncoder().fit(labels)
+        encoded = encoder.transform(labels)
+        assert encoded.dtype == int
+        assert np.array_equal(encoder.inverse_transform(encoded), labels)
+
+    def test_classes_sorted(self):
+        encoder = LabelEncoder().fit(["webex", "meet", "teams"])
+        assert list(encoder.classes_) == ["meet", "teams", "webex"]
+
+    def test_unseen_label_raises(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            encoder.transform(["c"])
+
+    def test_out_of_range_inverse_raises(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            encoder.inverse_transform([5])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(["a"])

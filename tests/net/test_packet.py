@@ -1,0 +1,84 @@
+"""Unit tests for the packet model."""
+
+import pytest
+
+from repro.net.packet import IPv4Header, MediaType, Packet, UDPHeader
+from repro.rtp.header import RTPHeader
+
+
+def make_packet(size=1000, timestamp=1.0, rtp=None, media_type=None, frame_id=None):
+    return Packet(
+        timestamp=timestamp,
+        ip=IPv4Header(src="10.0.0.1", dst="10.0.0.2"),
+        udp=UDPHeader(src_port=5000, dst_port=6000, length=size + 8),
+        payload_size=size,
+        rtp=rtp,
+        media_type=media_type,
+        frame_id=frame_id,
+    )
+
+
+class TestHeaders:
+    def test_ipv4_header_validation(self):
+        with pytest.raises(ValueError):
+            IPv4Header(src="a", dst="b", ttl=300)
+        with pytest.raises(ValueError):
+            IPv4Header(src="a", dst="b", protocol=-1)
+
+    def test_udp_header_port_validation(self):
+        with pytest.raises(ValueError):
+            UDPHeader(src_port=70000, dst_port=80)
+        with pytest.raises(ValueError):
+            UDPHeader(src_port=80, dst_port=-1)
+
+
+class TestPacket:
+    def test_size_alias(self):
+        packet = make_packet(size=777)
+        assert packet.size == 777
+        assert packet.payload_size == 777
+
+    def test_media_payload_subtracts_rtp_header(self):
+        packet = make_packet(size=1000)
+        assert packet.media_payload_size == 988
+
+    def test_media_payload_never_negative(self):
+        packet = make_packet(size=4)
+        assert packet.media_payload_size == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(size=-1)
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(timestamp=-0.5)
+
+    def test_without_rtp_strips_header_only(self):
+        rtp = RTPHeader(payload_type=102, sequence_number=1, timestamp=100, ssrc=7)
+        packet = make_packet(rtp=rtp, media_type=MediaType.VIDEO, frame_id=3)
+        stripped = packet.without_rtp()
+        assert stripped.rtp is None
+        assert stripped.media_type is MediaType.VIDEO
+        assert stripped.frame_id == 3
+        assert stripped.payload_size == packet.payload_size
+
+    def test_without_ground_truth_strips_annotations(self):
+        rtp = RTPHeader(payload_type=102, sequence_number=1, timestamp=100, ssrc=7)
+        packet = make_packet(rtp=rtp, media_type=MediaType.VIDEO, frame_id=3)
+        blind = packet.without_ground_truth()
+        assert blind.media_type is None
+        assert blind.frame_id is None
+        assert blind.rtp is not None  # RTP visibility is a separate dimension
+
+    def test_anonymized_hashes_addresses_consistently(self):
+        a = make_packet()
+        b = make_packet()
+        assert a.anonymized().ip.src == b.anonymized().ip.src
+        assert a.anonymized().ip.src != a.ip.src
+
+    def test_media_type_is_video_property(self):
+        assert MediaType.VIDEO.is_video
+        assert MediaType.VIDEO_RTX.is_video
+        assert not MediaType.AUDIO.is_video
+        assert not MediaType.CONTROL.is_video

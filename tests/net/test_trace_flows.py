@@ -1,0 +1,136 @@
+"""Unit tests for PacketTrace and flow utilities."""
+
+import numpy as np
+import pytest
+
+from repro.net.flows import FlowKey, FlowTable, five_tuple
+from repro.net.packet import IPv4Header, MediaType, Packet, UDPHeader
+from repro.net.trace import PacketTrace
+
+
+def make_packet(timestamp, size=500, src="10.0.0.2", dst="10.0.0.1", sport=3478, dport=50000, media=None):
+    return Packet(
+        timestamp=timestamp,
+        ip=IPv4Header(src=src, dst=dst),
+        udp=UDPHeader(src_port=sport, dst_port=dport),
+        payload_size=size,
+        media_type=media,
+    )
+
+
+class TestPacketTrace:
+    def test_packets_sorted_on_construction(self):
+        trace = PacketTrace([make_packet(2.0), make_packet(1.0), make_packet(3.0)])
+        assert [p.timestamp for p in trace] == [1.0, 2.0, 3.0]
+
+    def test_append_keeps_order(self):
+        trace = PacketTrace([make_packet(1.0), make_packet(3.0)])
+        trace.append(make_packet(2.0))
+        assert [p.timestamp for p in trace] == [1.0, 2.0, 3.0]
+
+    def test_len_bool_getitem(self):
+        trace = PacketTrace([make_packet(1.0)])
+        assert len(trace) == 1
+        assert bool(trace)
+        assert trace[0].timestamp == 1.0
+        assert isinstance(trace[:1], PacketTrace)
+        assert not PacketTrace([])
+
+    def test_time_slice_half_open(self):
+        trace = PacketTrace([make_packet(float(t)) for t in range(10)])
+        sliced = trace.time_slice(2.0, 5.0)
+        assert [p.timestamp for p in sliced] == [2.0, 3.0, 4.0]
+
+    def test_duration_and_bounds(self):
+        trace = PacketTrace([make_packet(1.5), make_packet(4.5)])
+        assert trace.start_time == 1.5
+        assert trace.end_time == 4.5
+        assert trace.duration == 3.0
+
+    def test_empty_trace_stats(self):
+        stats = PacketTrace([]).stats()
+        assert stats.n_packets == 0
+        assert stats.throughput_bps == 0.0
+
+    def test_stats_throughput(self):
+        trace = PacketTrace([make_packet(0.0, size=1000), make_packet(1.0, size=1000)])
+        stats = trace.stats()
+        assert stats.n_bytes == 2000
+        assert stats.throughput_bps == pytest.approx(16000.0)
+
+    def test_interarrival_times(self):
+        trace = PacketTrace([make_packet(0.0), make_packet(0.5), make_packet(1.5)])
+        assert np.allclose(trace.interarrival_times(), [0.5, 1.0])
+
+    def test_filter_media(self):
+        trace = PacketTrace(
+            [
+                make_packet(0.0, media=MediaType.AUDIO),
+                make_packet(1.0, media=MediaType.VIDEO),
+                make_packet(2.0, media=MediaType.VIDEO_RTX),
+            ]
+        )
+        video_only = trace.filter_media(MediaType.VIDEO)
+        assert len(video_only) == 1
+
+    def test_normalized_rebases_to_zero(self):
+        trace = PacketTrace([make_packet(5.0), make_packet(7.0)])
+        normalized = trace.normalized()
+        assert normalized.start_time == 0.0
+        assert normalized.end_time == 2.0
+
+    def test_iter_windows_covers_range_with_empty_windows(self):
+        trace = PacketTrace([make_packet(0.1), make_packet(2.9)])
+        windows = list(trace.iter_windows(1.0, start=0.0, end=3.0))
+        assert len(windows) == 3
+        assert len(windows[1][1]) == 0  # second 1..2 is empty
+
+    def test_iter_windows_invalid_window(self):
+        with pytest.raises(ValueError):
+            list(PacketTrace([make_packet(0.0)]).iter_windows(0.0))
+
+    def test_without_ground_truth(self):
+        trace = PacketTrace([make_packet(0.0, media=MediaType.VIDEO)])
+        assert trace.without_ground_truth()[0].media_type is None
+
+
+class TestFlows:
+    def test_five_tuple_extraction(self):
+        packet = make_packet(0.0)
+        key = five_tuple(packet)
+        assert key == FlowKey(src="10.0.0.2", src_port=3478, dst="10.0.0.1", dst_port=50000)
+
+    def test_reversed_key(self):
+        key = FlowKey(src="a", src_port=1, dst="b", dst_port=2)
+        assert key.reversed() == FlowKey(src="b", src_port=2, dst="a", dst_port=1)
+
+    def test_bidirectional_canonical_order(self):
+        key = FlowKey(src="b", src_port=2, dst="a", dst_port=1)
+        first, second = key.bidirectional()
+        assert first.src <= second.src
+
+    def test_flow_table_grouping_and_stats(self):
+        table = FlowTable()
+        table.add_all(
+            [
+                make_packet(0.0, size=100),
+                make_packet(1.0, size=200),
+                make_packet(0.5, size=50, src="172.16.0.9", sport=9999),
+            ]
+        )
+        assert len(table) == 2
+        dominant = table.dominant_flow()
+        assert dominant.src == "10.0.0.2"
+        assert table.stats(dominant).bytes == 300
+        assert table.stats(dominant).duration == 1.0
+        assert len(table.packets(dominant)) == 2
+
+    def test_toward_filters_by_destination(self):
+        table = FlowTable()
+        table.add(make_packet(0.0))
+        assert len(table.toward("10.0.0.1")) == 1
+        assert table.toward("1.1.1.1") == []
+
+    def test_unknown_flow_stats_raises(self):
+        with pytest.raises(KeyError):
+            FlowTable().stats(FlowKey(src="x", src_port=1, dst="y", dst_port=2))

@@ -1,0 +1,211 @@
+"""Unit tests for the network emulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import IPv4Header, Packet, UDPHeader
+from repro.netem.conditions import ConditionSchedule, NetworkCondition
+from repro.netem.impairments import IMPAIRMENT_PROFILES, impairment_schedules
+from repro.netem.link import EmulatedLink
+from repro.netem.ndt import generate_ndt_corpus, generate_ndt_trace, schedule_from_ndt
+
+
+def make_packets(n, size=1000, spacing=0.01, start=0.0):
+    return [
+        Packet(
+            timestamp=start + i * spacing,
+            ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2"),
+            udp=UDPHeader(src_port=1, dst_port=2),
+            payload_size=size,
+        )
+        for i in range(n)
+    ]
+
+
+class TestNetworkCondition:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkCondition(throughput_kbps=0.0)
+        with pytest.raises(ValueError):
+            NetworkCondition(throughput_kbps=100.0, delay_ms=-1.0)
+        with pytest.raises(ValueError):
+            NetworkCondition(throughput_kbps=100.0, loss_rate=1.0)
+
+    def test_bytes_per_second_conversion(self):
+        condition = NetworkCondition(throughput_kbps=800.0)
+        assert condition.throughput_bytes_per_second == pytest.approx(100_000.0)
+
+    def test_scaled(self):
+        condition = NetworkCondition(throughput_kbps=1000.0)
+        assert condition.scaled(0.5).throughput_kbps == 500.0
+
+
+class TestConditionSchedule:
+    def test_constant_schedule_duration(self):
+        schedule = ConditionSchedule.constant(NetworkCondition(throughput_kbps=1000.0), 9.5)
+        assert len(schedule) == 10
+        assert schedule.duration == 10.0
+
+    def test_at_clamps_to_bounds(self):
+        conditions = [NetworkCondition(throughput_kbps=float(100 * (i + 1))) for i in range(3)]
+        schedule = ConditionSchedule(conditions)
+        assert schedule.at(-5.0).throughput_kbps == 100.0
+        assert schedule.at(0.5).throughput_kbps == 100.0
+        assert schedule.at(2.5).throughput_kbps == 300.0
+        assert schedule.at(99.0).throughput_kbps == 300.0
+
+    def test_repeated_to_cycles(self):
+        schedule = ConditionSchedule([NetworkCondition(throughput_kbps=100.0), NetworkCondition(throughput_kbps=200.0)])
+        extended = schedule.repeated_to(5.0)
+        assert len(extended) == 5
+        assert extended[4].throughput_kbps == 100.0
+
+    def test_truncated(self):
+        schedule = ConditionSchedule.constant(NetworkCondition(throughput_kbps=100.0), 10.0)
+        assert len(schedule.truncated(3.0)) == 3
+
+    def test_concatenate_requires_matching_interval(self):
+        a = ConditionSchedule([NetworkCondition(throughput_kbps=100.0)], interval=1.0)
+        b = ConditionSchedule([NetworkCondition(throughput_kbps=200.0)], interval=2.0)
+        with pytest.raises(ValueError):
+            ConditionSchedule.concatenate([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ConditionSchedule([])
+
+    def test_means(self):
+        schedule = ConditionSchedule(
+            [
+                NetworkCondition(throughput_kbps=1000.0, loss_rate=0.1, delay_ms=10.0),
+                NetworkCondition(throughput_kbps=2000.0, loss_rate=0.3, delay_ms=30.0),
+            ]
+        )
+        assert schedule.mean_throughput_kbps() == 1500.0
+        assert schedule.mean_loss_rate() == pytest.approx(0.2)
+        assert schedule.mean_delay_ms() == 20.0
+
+
+class TestEmulatedLink:
+    def test_no_impairment_delivers_everything_in_order(self):
+        schedule = ConditionSchedule.constant(NetworkCondition(throughput_kbps=10_000.0, delay_ms=10.0), 10)
+        link = EmulatedLink(schedule, rng=np.random.default_rng(0))
+        packets = make_packets(50)
+        delivered, report = link.transmit(packets)
+        assert report.delivered == 50
+        assert report.dropped_loss == 0
+        arrivals = [p.timestamp for p in delivered]
+        assert arrivals == sorted(arrivals)
+        # Every packet is delayed by at least the propagation delay.
+        assert all(d.timestamp >= o.timestamp + 0.01 for d, o in zip(delivered, packets))
+
+    def test_full_loss_rate_drops_most_packets(self):
+        schedule = ConditionSchedule.constant(
+            NetworkCondition(throughput_kbps=10_000.0, loss_rate=0.9), 10
+        )
+        link = EmulatedLink(schedule, rng=np.random.default_rng(1))
+        _, report = link.transmit(make_packets(200))
+        assert report.dropped_loss > 140
+
+    def test_bottleneck_queue_drops_when_overloaded(self):
+        # 100 kbps link, 1000-byte packets every 1 ms -> massively overloaded.
+        schedule = ConditionSchedule.constant(NetworkCondition(throughput_kbps=100.0), 10)
+        link = EmulatedLink(schedule, max_queue_ms=100.0, rng=np.random.default_rng(2))
+        _, report = link.transmit(make_packets(300, spacing=0.001))
+        assert report.dropped_queue > 0
+        assert report.delivered < 300
+
+    def test_jitter_can_reorder_packets(self):
+        schedule = ConditionSchedule.constant(
+            NetworkCondition(throughput_kbps=50_000.0, delay_ms=20.0, jitter_ms=30.0), 10
+        )
+        link = EmulatedLink(schedule, rng=np.random.default_rng(3))
+        packets = make_packets(200, spacing=0.002)
+        delivered, _ = link.transmit(packets)
+        # Delivered list is sorted by arrival; check that the original send
+        # order (recoverable via object identity of sizes is not possible) --
+        # instead check that some packet arrives before an earlier-sent one by
+        # comparing arrival deltas to send deltas.
+        send_index = {id(p): i for i, p in enumerate(packets)}
+        assert len(delivered) > 100
+
+    def test_loss_fraction_property(self):
+        schedule = ConditionSchedule.constant(NetworkCondition(throughput_kbps=10_000.0), 5)
+        link = EmulatedLink(schedule, rng=np.random.default_rng(4))
+        _, report = link.transmit(make_packets(10))
+        assert report.loss_fraction == 0.0
+
+    def test_reset_clears_queue_state(self):
+        schedule = ConditionSchedule.constant(NetworkCondition(throughput_kbps=200.0), 10)
+        link = EmulatedLink(schedule, rng=np.random.default_rng(5))
+        link.transmit(make_packets(100, spacing=0.001))
+        link.reset()
+        assert link._link_free_at == 0.0
+
+    def test_invalid_queue_size(self):
+        schedule = ConditionSchedule.constant(NetworkCondition(throughput_kbps=100.0), 1)
+        with pytest.raises(ValueError):
+            EmulatedLink(schedule, max_queue_ms=0.0)
+
+
+class TestNDT:
+    def test_trace_respects_speed_cap(self, rng):
+        trace = generate_ndt_trace(rng, duration_s=10, max_speed_kbps=10_000.0)
+        assert len(trace.samples) == 10
+        assert all(s.throughput_kbps <= 10_000.0 for s in trace.samples)
+        assert all(s.rtt_ms > 0 for s in trace.samples)
+        assert all(0.0 <= s.loss_rate <= 0.5 for s in trace.samples)
+
+    def test_corpus_size_and_ids(self, rng):
+        corpus = generate_ndt_corpus(7, rng=rng)
+        assert len(corpus) == 7
+        assert len({t.test_id for t in corpus}) == 7
+
+    def test_schedule_from_ndt_covers_duration(self, rng):
+        trace = generate_ndt_trace(rng)
+        schedule = schedule_from_ndt(trace, duration_s=25.0, rng=rng)
+        assert len(schedule) == 25
+        assert all(c.throughput_kbps >= 100.0 for c in schedule)
+
+    def test_invalid_durations(self, rng):
+        with pytest.raises(ValueError):
+            generate_ndt_trace(rng, duration_s=0)
+        with pytest.raises(ValueError):
+            generate_ndt_corpus(0, rng=rng)
+
+
+class TestImpairments:
+    def test_profiles_match_table_a6(self):
+        assert set(IMPAIRMENT_PROFILES) == {
+            "mean_throughput",
+            "throughput_stdev",
+            "mean_latency",
+            "latency_stdev",
+            "packet_loss",
+        }
+        assert IMPAIRMENT_PROFILES["packet_loss"].values == (1.0, 2.0, 5.0, 10.0, 15.0, 20.0)
+        assert IMPAIRMENT_PROFILES["mean_throughput"].values == (100.0, 200.0, 500.0, 1000.0, 2000.0, 4000.0)
+        assert len(IMPAIRMENT_PROFILES["latency_stdev"].values) == 10
+
+    def test_loss_profile_condition(self):
+        profile = IMPAIRMENT_PROFILES["packet_loss"]
+        condition = profile.condition_for(10.0)
+        assert condition.loss_rate == pytest.approx(0.10)
+        assert condition.throughput_kbps == 1500.0
+        assert condition.delay_ms == 50.0
+
+    def test_latency_profile_condition(self):
+        condition = IMPAIRMENT_PROFILES["mean_latency"].condition_for(300.0)
+        assert condition.delay_ms == 300.0
+
+    def test_throughput_stdev_schedule_varies(self, rng):
+        profile = IMPAIRMENT_PROFILES["throughput_stdev"]
+        schedule = impairment_schedules(profile, 1000.0, duration_s=20.0, rng=rng)
+        throughputs = [c.throughput_kbps for c in schedule]
+        assert np.std(throughputs) > 100.0
+
+    def test_constant_profile_schedule(self):
+        profile = IMPAIRMENT_PROFILES["packet_loss"]
+        schedule = impairment_schedules(profile, 5.0, duration_s=10.0)
+        assert len(schedule) == 10
+        assert all(c.loss_rate == pytest.approx(0.05) for c in schedule)

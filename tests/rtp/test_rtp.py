@@ -1,0 +1,166 @@
+"""Unit tests for the RTP substrate: header codec, payload types, streams."""
+
+import pytest
+
+from repro.net.packet import IPv4Header, MediaType, Packet, UDPHeader
+from repro.rtp.header import (
+    AUDIO_CLOCK_RATE,
+    RTPHeader,
+    VIDEO_CLOCK_RATE,
+    sequence_distance,
+    timestamp_distance,
+)
+from repro.rtp.payload_types import LAB_PAYLOAD_TYPES, REAL_WORLD_PAYLOAD_TYPES, PayloadTypeMap
+from repro.rtp.stream import RTPStream, StreamRegistry
+
+
+class TestRTPHeader:
+    def test_encode_decode_round_trip(self):
+        header = RTPHeader(payload_type=102, sequence_number=54321, timestamp=123456789, ssrc=0xDEADBEEF, marker=True)
+        decoded = RTPHeader.decode(header.encode())
+        assert decoded == header
+
+    def test_encoded_length_is_twelve_bytes(self):
+        header = RTPHeader(payload_type=96, sequence_number=0, timestamp=0, ssrc=1)
+        assert len(header.encode()) == 12
+
+    def test_decode_rejects_short_buffer(self):
+        with pytest.raises(ValueError):
+            RTPHeader.decode(b"\x80\x66")
+
+    def test_decode_rejects_wrong_version(self):
+        data = bytearray(RTPHeader(payload_type=96, sequence_number=1, timestamp=2, ssrc=3).encode())
+        data[0] = 0x00  # version 0
+        with pytest.raises(ValueError):
+            RTPHeader.decode(bytes(data))
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            RTPHeader(payload_type=200, sequence_number=0, timestamp=0, ssrc=0)
+        with pytest.raises(ValueError):
+            RTPHeader(payload_type=96, sequence_number=70000, timestamp=0, ssrc=0)
+        with pytest.raises(ValueError):
+            RTPHeader(payload_type=96, sequence_number=0, timestamp=2**32, ssrc=0)
+
+    def test_timestamp_seconds(self):
+        header = RTPHeader(payload_type=96, sequence_number=0, timestamp=90_000, ssrc=1)
+        assert header.timestamp_seconds(VIDEO_CLOCK_RATE) == pytest.approx(1.0)
+        header_audio = RTPHeader(payload_type=111, sequence_number=0, timestamp=48_000, ssrc=1)
+        assert header_audio.timestamp_seconds(AUDIO_CLOCK_RATE) == pytest.approx(1.0)
+
+    def test_timestamp_seconds_invalid_clock(self):
+        header = RTPHeader(payload_type=96, sequence_number=0, timestamp=1, ssrc=1)
+        with pytest.raises(ValueError):
+            header.timestamp_seconds(0)
+
+
+class TestSequenceArithmetic:
+    def test_forward_distance(self):
+        assert sequence_distance(10, 13) == 3
+
+    def test_backward_distance(self):
+        assert sequence_distance(13, 10) == -3
+
+    def test_wraparound(self):
+        assert sequence_distance(65535, 0) == 1
+        assert sequence_distance(0, 65535) == -1
+
+    def test_timestamp_wraparound(self):
+        assert timestamp_distance(0xFFFFFFFF, 0) == 1
+        assert timestamp_distance(0, 0xFFFFFFFF) == -1
+
+
+class TestPayloadTypes:
+    def test_lab_teams_mapping_matches_paper(self):
+        teams = LAB_PAYLOAD_TYPES["teams"]
+        assert teams.media_type(111) is MediaType.AUDIO
+        assert teams.media_type(102) is MediaType.VIDEO
+        assert teams.media_type(103) is MediaType.VIDEO_RTX
+        assert teams.media_type(99) is None
+
+    def test_real_world_remapping(self):
+        teams = REAL_WORLD_PAYLOAD_TYPES["teams"]
+        assert teams.media_type(100) is MediaType.VIDEO
+        assert teams.media_type(101) is MediaType.VIDEO_RTX
+        webex = REAL_WORLD_PAYLOAD_TYPES["webex"]
+        assert webex.media_type(100) is MediaType.VIDEO
+        assert webex.video_rtx is None
+
+    def test_reverse_lookup(self):
+        teams = LAB_PAYLOAD_TYPES["teams"]
+        assert teams.payload_type(MediaType.VIDEO) == 102
+        assert teams.payload_type(MediaType.AUDIO) == 111
+
+    def test_video_types_set(self):
+        teams = LAB_PAYLOAD_TYPES["teams"]
+        assert teams.video_types == {102, 103}
+        webex_rw = REAL_WORLD_PAYLOAD_TYPES["webex"]
+        assert webex_rw.video_types == {100}
+
+    def test_custom_extra_mapping(self):
+        custom = PayloadTypeMap(audio=111, video=96, extra={127: MediaType.CONTROL})
+        assert custom.media_type(127) is MediaType.CONTROL
+
+
+def make_rtp_packet(timestamp, seq, rtp_ts, ssrc=7, pt=102, size=1000, marker=False):
+    return Packet(
+        timestamp=timestamp,
+        ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2"),
+        udp=UDPHeader(src_port=1, dst_port=2),
+        payload_size=size,
+        rtp=RTPHeader(payload_type=pt, sequence_number=seq, timestamp=rtp_ts, ssrc=ssrc, marker=marker),
+        media_type=MediaType.VIDEO,
+    )
+
+
+class TestRTPStream:
+    def test_stream_counts_and_unique_timestamps(self):
+        stream = RTPStream(ssrc=7, payload_type=102)
+        for i in range(6):
+            stream.update(make_rtp_packet(0.01 * i, seq=i, rtp_ts=(i // 2) * 3000))
+        assert stream.packet_count == 6
+        assert len(stream.unique_timestamps) == 3
+        assert stream.out_of_order == 0
+
+    def test_out_of_order_detection(self):
+        stream = RTPStream(ssrc=7, payload_type=102)
+        stream.update(make_rtp_packet(0.0, seq=10, rtp_ts=0))
+        stream.update(make_rtp_packet(0.1, seq=12, rtp_ts=0))
+        stream.update(make_rtp_packet(0.2, seq=11, rtp_ts=0))
+        assert stream.out_of_order == 1
+        assert stream.sequence_gaps == 1
+
+    def test_wrong_ssrc_rejected(self):
+        stream = RTPStream(ssrc=7, payload_type=102)
+        with pytest.raises(ValueError):
+            stream.update(make_rtp_packet(0.0, seq=1, rtp_ts=0, ssrc=9))
+
+    def test_non_rtp_packet_rejected(self):
+        stream = RTPStream(ssrc=7, payload_type=102)
+        packet = make_rtp_packet(0.0, seq=1, rtp_ts=0).without_rtp()
+        with pytest.raises(ValueError):
+            stream.update(packet)
+
+
+class TestStreamRegistry:
+    def test_discovers_streams_by_ssrc(self):
+        registry = StreamRegistry()
+        packets = [make_rtp_packet(0.01 * i, seq=i, rtp_ts=i, ssrc=1) for i in range(4)]
+        packets += [make_rtp_packet(0.01 * i, seq=i, rtp_ts=i, ssrc=2, pt=111) for i in range(3)]
+        registry.observe_all(packets)
+        assert len(registry) == 2
+        assert 1 in registry and 2 in registry
+        assert registry.by_payload_type(111)[0].packet_count == 3
+
+    def test_non_rtp_packets_ignored(self):
+        registry = StreamRegistry()
+        assert registry.observe(make_rtp_packet(0.0, seq=0, rtp_ts=0).without_rtp()) is None
+        assert len(registry) == 0
+
+    def test_by_media_type(self, teams_call):
+        registry = StreamRegistry().observe_all(teams_call.trace)
+        video_streams = registry.by_media_type(MediaType.VIDEO)
+        audio_streams = registry.by_media_type(MediaType.AUDIO)
+        assert len(video_streams) == 1
+        assert len(audio_streams) == 1
+        assert video_streams[0].packet_count > audio_streams[0].packet_count

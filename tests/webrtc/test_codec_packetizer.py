@@ -1,0 +1,154 @@
+"""Unit tests for the video encoder model and packetiser."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import MediaType
+from repro.webrtc.codec import EncodedFrame, VideoEncoder
+from repro.webrtc.packetizer import (
+    PAYLOAD_OVERHEAD_LEN,
+    RTP_HEADER_LEN,
+    Packetizer,
+    PacketizerConfig,
+)
+from repro.webrtc.profiles import get_profile
+
+
+@pytest.fixture
+def teams_profile():
+    return get_profile("teams")
+
+
+@pytest.fixture
+def packetizer(teams_profile, rng):
+    config = PacketizerConfig(
+        src_ip="192.0.2.10", dst_ip="10.0.0.1", src_port=3478, dst_port=50000, ssrc=77, payload_type=102
+    )
+    return Packetizer(teams_profile, config, rng)
+
+
+class TestVideoEncoder:
+    def test_frame_count_matches_target_fps(self, teams_profile, rng):
+        encoder = VideoEncoder(teams_profile, rng)
+        frames = encoder.encode_second(0.0, bitrate_kbps=2000.0, height=480, max_fps=30.0)
+        assert 28 <= len(frames) <= 31
+
+    def test_low_bitrate_reduces_frame_rate(self, teams_profile, rng):
+        encoder = VideoEncoder(teams_profile, rng)
+        assert encoder.frame_rate_for(100.0, 30.0) < encoder.frame_rate_for(2000.0, 30.0)
+        assert encoder.frame_rate_for(2000.0, 30.0) == 30.0
+
+    def test_zero_bitrate_yields_no_frames(self, teams_profile, rng):
+        encoder = VideoEncoder(teams_profile, rng)
+        assert encoder.frame_rate_for(0.0, 30.0) == 0.0
+
+    def test_frame_sizes_sum_near_bitrate_budget(self, teams_profile, rng):
+        encoder = VideoEncoder(teams_profile, rng)
+        totals = []
+        for second in range(5):
+            frames = encoder.encode_second(float(second), bitrate_kbps=1500.0, height=480, max_fps=30.0)
+            totals.append(sum(f.size_bytes for f in frames) * 8.0 / 1000.0)
+        # Average emitted bitrate within ~35% of the target.
+        assert abs(np.mean(totals) - 1500.0) / 1500.0 < 0.35
+
+    def test_capture_times_within_second(self, teams_profile, rng):
+        encoder = VideoEncoder(teams_profile, rng)
+        frames = encoder.encode_second(3.0, bitrate_kbps=1000.0, height=360, max_fps=30.0)
+        assert all(3.0 <= f.capture_time < 4.0 for f in frames)
+
+    def test_frame_ids_strictly_increasing(self, teams_profile, rng):
+        encoder = VideoEncoder(teams_profile, rng)
+        ids = []
+        for second in range(3):
+            ids.extend(f.frame_id for f in encoder.encode_second(float(second), 1000.0, 360, 30.0))
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_keyframes_are_larger(self, teams_profile, rng):
+        encoder = VideoEncoder(teams_profile, rng)
+        all_frames = []
+        for second in range(25):
+            all_frames.extend(encoder.encode_second(float(second), 1500.0, 480, 30.0))
+        keyframes = [f for f in all_frames if f.is_keyframe]
+        deltas = [f for f in all_frames if not f.is_keyframe]
+        assert keyframes, "expected at least one keyframe in 25 seconds"
+        assert np.mean([f.size_bytes for f in keyframes]) > 1.5 * np.mean([f.size_bytes for f in deltas])
+
+    def test_invalid_frame_rejected(self):
+        with pytest.raises(ValueError):
+            EncodedFrame(frame_id=1, capture_time=0.0, size_bytes=0, height=360)
+
+
+class TestPacketizer:
+    def _frame(self, size=6000, frame_id=5, t=1.0):
+        return EncodedFrame(frame_id=frame_id, capture_time=t, size_bytes=size, height=480)
+
+    def test_all_packets_share_frame_id_and_rtp_timestamp(self, packetizer):
+        packets = packetizer.packetize(self._frame())
+        assert len({p.frame_id for p in packets}) == 1
+        assert len({p.rtp.timestamp for p in packets}) == 1
+
+    def test_only_last_packet_has_marker(self, packetizer):
+        packets = packetizer.packetize(self._frame())
+        markers = [p.rtp.marker for p in packets]
+        assert markers[-1] is True
+        assert sum(markers) == 1
+
+    def test_sequence_numbers_consecutive(self, packetizer):
+        packets = packetizer.packetize(self._frame())
+        seqs = [p.rtp.sequence_number for p in packets]
+        assert all((b - a) % 65536 == 1 for a, b in zip(seqs, seqs[1:]))
+
+    def test_payload_sizes_respect_mtu(self, packetizer, teams_profile):
+        packets = packetizer.packetize(self._frame(size=20_000))
+        assert all(p.payload_size <= teams_profile.mtu_payload for p in packets)
+
+    def test_total_bytes_account_for_frame_and_overheads(self, packetizer):
+        frame = self._frame(size=5000)
+        packets = packetizer.packetize(frame)
+        media_total = sum(p.payload_size - RTP_HEADER_LEN - PAYLOAD_OVERHEAD_LEN for p in packets)
+        assert media_total == frame.size_bytes
+
+    def test_app_bytes_metadata_matches_fragments(self, packetizer):
+        frame = self._frame(size=4321)
+        packets = packetizer.packetize(frame)
+        assert sum(p.metadata["app_bytes"] for p in packets) == 4321
+
+    def test_equal_fragmentation_within_one_byte(self, teams_profile, rng):
+        config = PacketizerConfig(
+            src_ip="a.b.c.d", dst_ip="10.0.0.1", src_port=1, dst_port=2, ssrc=1, payload_type=102
+        )
+        # Force the equal-split path by zeroing the unequal probability.
+        from dataclasses import replace
+
+        profile = replace(teams_profile, unequal_fragmentation_prob=0.0)
+        packetizer = Packetizer(profile, config, np.random.default_rng(0))
+        for size in (3000, 5000, 9999):
+            packets = packetizer.packetize(self._frame(size=size))
+            sizes = [p.payload_size for p in packets]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_unequal_fragmentation_exceeds_threshold(self, teams_profile):
+        from dataclasses import replace
+
+        profile = replace(teams_profile, unequal_fragmentation_prob=1.0)
+        config = PacketizerConfig(
+            src_ip="a.b.c.d", dst_ip="10.0.0.1", src_port=1, dst_port=2, ssrc=1, payload_type=102
+        )
+        packetizer = Packetizer(profile, config, np.random.default_rng(0))
+        packets = packetizer.packetize(self._frame(size=6000))
+        sizes = [p.payload_size for p in packets]
+        assert max(sizes) - min(sizes) > 2
+
+    def test_single_packet_frame(self, packetizer):
+        packets = packetizer.packetize(self._frame(size=300))
+        assert len(packets) == 1
+        assert packets[0].rtp.marker is True
+
+    def test_packets_marked_as_video(self, packetizer):
+        assert all(p.media_type is MediaType.VIDEO for p in packetizer.packetize(self._frame()))
+
+    def test_intra_frame_departure_spacing_is_microburst(self, packetizer):
+        packets = packetizer.packetize(self._frame(size=10_000))
+        gaps = np.diff([p.timestamp for p in packets])
+        assert np.all(gaps < 0.003)

@@ -1,0 +1,154 @@
+"""Unit tests for audio, retransmission and control streams and rate control."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import MediaType
+from repro.webrtc.audio import AudioStream
+from repro.webrtc.packetizer import PacketizerConfig
+from repro.webrtc.profiles import get_profile
+from repro.webrtc.rate_control import FeedbackReport, RateController
+from repro.webrtc.retransmission import RetransmissionStream, generate_control_handshake
+
+
+@pytest.fixture
+def config():
+    return PacketizerConfig(
+        src_ip="192.0.2.10", dst_ip="10.0.0.1", src_port=3478, dst_port=50000, ssrc=5, payload_type=111
+    )
+
+
+class TestAudioStream:
+    def test_packet_rate_matches_opus_framing(self, config, rng):
+        stream = AudioStream(get_profile("teams"), config, rng)
+        packets = stream.generate_second(2.0)
+        assert len(packets) == 50
+        assert all(2.0 <= p.timestamp < 3.0 for p in packets)
+
+    def test_sizes_within_paper_range(self, config, rng):
+        profile = get_profile("teams")
+        stream = AudioStream(profile, config, rng)
+        sizes = [p.payload_size for second in range(5) for p in stream.generate_second(float(second))]
+        low, high = profile.audio_size_range
+        assert min(sizes) >= low
+        assert max(sizes) <= high
+
+    def test_packets_marked_audio_with_audio_payload_type(self, config, rng):
+        packets = AudioStream(get_profile("teams"), config, rng).generate_second(0.0)
+        assert all(p.media_type is MediaType.AUDIO for p in packets)
+        assert all(p.rtp.payload_type == 111 for p in packets)
+
+    def test_sequence_numbers_increase(self, config, rng):
+        stream = AudioStream(get_profile("meet"), config, rng)
+        packets = stream.generate_second(0.0) + stream.generate_second(1.0)
+        seqs = [p.rtp.sequence_number for p in packets]
+        assert all((b - a) % 65536 == 1 for a, b in zip(seqs, seqs[1:]))
+
+
+class TestRetransmissionStream:
+    def _video_packet(self, packetizer_config, size=1000, frame_id=9):
+        from repro.net.packet import IPv4Header, Packet, UDPHeader
+        from repro.rtp.header import RTPHeader
+
+        return Packet(
+            timestamp=0.5,
+            ip=IPv4Header(src="192.0.2.10", dst="10.0.0.1"),
+            udp=UDPHeader(src_port=3478, dst_port=50000),
+            payload_size=size,
+            rtp=RTPHeader(payload_type=102, sequence_number=17, timestamp=9000, ssrc=3),
+            media_type=MediaType.VIDEO,
+            frame_id=frame_id,
+            metadata={"frame_packets": 4, "height": 480, "app_bytes": size - 36},
+        )
+
+    def test_keepalives_have_fixed_size(self, config, rng):
+        profile = get_profile("teams")
+        stream = RetransmissionStream(profile, config, rng)
+        packets = stream.generate_second(0.0)
+        assert packets, "expected keep-alive packets"
+        assert all(p.payload_size == profile.keepalive_size for p in packets)
+        assert all(p.media_type is MediaType.VIDEO_RTX for p in packets)
+
+    def test_retransmissions_carry_original_frame_identity(self, config, rng):
+        profile = get_profile("teams")
+        stream = RetransmissionStream(profile, config, rng)
+        lost = self._video_packet(config)
+        packets = stream.generate_second(1.0, lost_video_packets=[lost])
+        retransmissions = [p for p in packets if p.metadata.get("retransmission")]
+        assert len(retransmissions) == 1
+        assert retransmissions[0].frame_id == 9
+        assert retransmissions[0].payload_size == lost.payload_size
+
+    def test_retransmission_cap(self, config, rng):
+        profile = get_profile("teams")
+        stream = RetransmissionStream(profile, config, rng)
+        lost = [self._video_packet(config, frame_id=i) for i in range(40)]
+        packets = stream.generate_second(1.0, lost_video_packets=lost)
+        retransmissions = [p for p in packets if p.metadata.get("retransmission")]
+        assert len(retransmissions) == stream.MAX_RETRANSMISSIONS_PER_SECOND
+
+    def test_disabled_rtx_produces_nothing(self, config, rng):
+        from dataclasses import replace
+
+        profile = replace(get_profile("teams"), uses_rtx=False)
+        stream = RetransmissionStream(profile, config, rng)
+        assert stream.generate_second(0.0) == []
+
+
+class TestControlHandshake:
+    def test_handshake_packets_are_control_and_non_rtp(self, config, rng):
+        packets = generate_control_handshake(config, rng)
+        assert len(packets) >= 4
+        assert all(p.media_type is MediaType.CONTROL for p in packets)
+        assert all(p.rtp is None for p in packets)
+
+    def test_some_handshake_packets_exceed_video_threshold(self, config, rng):
+        packets = generate_control_handshake(config, rng)
+        assert any(p.payload_size >= 450 for p in packets)
+
+
+class TestRateController:
+    def test_increases_under_clean_conditions(self):
+        profile = get_profile("teams")
+        controller = RateController(profile, rng=np.random.default_rng(0))
+        start = controller.target_kbps
+        for _ in range(10):
+            controller.update(FeedbackReport(loss_fraction=0.0, receive_rate_kbps=start, queue_delay_ms=5.0, rtt_ms=50.0))
+        assert controller.target_kbps > start
+
+    def test_backs_off_under_heavy_loss(self):
+        profile = get_profile("teams")
+        controller = RateController(profile, rng=np.random.default_rng(0))
+        start = controller.target_kbps
+        controller.update(FeedbackReport(loss_fraction=0.3, receive_rate_kbps=800.0, queue_delay_ms=5.0, rtt_ms=50.0))
+        assert controller.target_kbps < start
+
+    def test_delay_overuse_converges_to_receive_rate(self):
+        profile = get_profile("teams")
+        controller = RateController(profile, rng=np.random.default_rng(0))
+        for _ in range(5):
+            controller.update(FeedbackReport(loss_fraction=0.0, receive_rate_kbps=400.0, queue_delay_ms=150.0, rtt_ms=200.0))
+        assert controller.target_kbps < 500.0
+
+    def test_target_stays_within_profile_bounds(self):
+        profile = get_profile("webex")
+        controller = RateController(profile, rng=np.random.default_rng(1))
+        for _ in range(50):
+            controller.update(FeedbackReport(loss_fraction=0.0, receive_rate_kbps=10_000.0, queue_delay_ms=0.0, rtt_ms=20.0))
+        assert controller.target_kbps <= profile.max_bitrate_kbps
+        for _ in range(50):
+            controller.update(FeedbackReport(loss_fraction=0.5, receive_rate_kbps=10.0, queue_delay_ms=500.0, rtt_ms=900.0))
+        assert controller.target_kbps >= profile.min_bitrate_kbps
+
+    def test_reset_restores_start_bitrate(self):
+        profile = get_profile("meet")
+        controller = RateController(profile, rng=np.random.default_rng(2))
+        controller.update(FeedbackReport(loss_fraction=0.4, receive_rate_kbps=100.0, queue_delay_ms=100.0, rtt_ms=300.0))
+        controller.reset()
+        assert controller.target_kbps == profile.start_bitrate_kbps
+
+    def test_invalid_feedback_rejected(self):
+        with pytest.raises(ValueError):
+            FeedbackReport(loss_fraction=1.5, receive_rate_kbps=0.0, queue_delay_ms=0.0, rtt_ms=0.0)
+        with pytest.raises(ValueError):
+            FeedbackReport(loss_fraction=0.0, receive_rate_kbps=-1.0, queue_delay_ms=0.0, rtt_ms=0.0)
