@@ -1,0 +1,164 @@
+"""Throughput benchmark: seed-style batch estimation vs the streaming engine.
+
+Measures packets/second of QoE estimation over a 5-minute synthetic
+multi-flow trace (two interleaved sessions), comparing
+
+* the **seed batch path** -- a faithful replica of the pre-refactor
+  ``QoEPipeline.estimate``: per-window trace re-slicing that rebuilds the
+  timestamp list for every window (O(n * windows)), plus the full-trace
+  heuristic pass that scans all frames per window; and
+* the **streaming engine** -- one pass over the interleaved packets with
+  per-flow demultiplexing and O(window) state.
+
+The result is written to ``benchmarks/results/BENCH_streaming.json`` so the
+performance trajectory of the hot path is tracked across PRs.  The refactor's
+acceptance bar is a >= 3x packets/sec speedup.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, save_artifact
+from repro.core.heuristic import IPUDPHeuristic
+from repro.core.pipeline import QoEPipeline
+from repro.core.streaming import StreamingQoEPipeline
+from repro.net.packet import IPv4Header, Packet, UDPHeader
+from repro.net.trace import PacketTrace
+
+TRACE_DURATION_S = 300.0  # the 5-minute operator trace
+SPEEDUP_FLOOR = 3.0
+
+#: Shared between the two benchmark tests and the assertion test (the file's
+#: tests run in definition order).
+_measured: dict[str, float] = {}
+
+
+def _synthetic_session(seed: int, client_ip: str, client_port: int) -> list[Packet]:
+    """One 5-minute VCA-like downlink flow: 25 fps video bursts + 50 Hz audio."""
+    rng = np.random.default_rng(seed)
+    packets: list[Packet] = []
+    ip = IPv4Header(src="192.0.2.10", dst=client_ip)
+    udp = UDPHeader(src_port=3478, dst_port=client_port)
+
+    t = float(rng.uniform(0.0, 0.02))
+    while t < TRACE_DURATION_S:
+        frame_size = int(rng.integers(700, 1200))
+        n_fragments = int(rng.integers(2, 5))
+        for i in range(n_fragments):
+            packets.append(
+                Packet(timestamp=t + i * 0.0008, ip=ip, udp=udp, payload_size=frame_size)
+            )
+        t += float(rng.normal(0.04, 0.004))  # ~25 fps with jitter
+
+    t = float(rng.uniform(0.0, 0.02))
+    while t < TRACE_DURATION_S:
+        packets.append(
+            Packet(timestamp=t, ip=ip, udp=udp, payload_size=int(rng.integers(90, 250)))
+        )
+        t += 0.02  # 50 Hz audio
+    packets.sort(key=lambda p: p.timestamp)
+    return packets
+
+
+@pytest.fixture(scope="module")
+def multiflow_trace() -> PacketTrace:
+    """Two interleaved sessions, as a passive monitor would capture them."""
+    flow_a = _synthetic_session(1, "10.0.0.1", 50001)
+    flow_b = _synthetic_session(2, "10.0.0.2", 50002)
+    return PacketTrace(flow_a + flow_b)
+
+
+def _seed_batch_estimate(trace: PacketTrace, heuristic: IPUDPHeuristic, window_s: float = 1.0):
+    """Replica of the pre-refactor ``QoEPipeline.estimate`` (untrained path).
+
+    Reproduces the seed's cost profile: ``window_trace`` re-extracted the
+    timestamp list and a packet-list copy for *every* window (the seed
+    ``time_slice`` had no cache), then the heuristic ran a second full pass
+    with a per-window scan over all assembled frames.
+    """
+    packet_trace = trace.without_ground_truth().without_rtp()
+    packets = packet_trace.packets
+    end = packet_trace.end_time
+
+    windows = []
+    t = 0.0
+    while t < end:
+        times = [p.timestamp for p in packets]  # rebuilt per window, as seeded
+        lo = bisect_left(times, t)
+        hi = bisect_left(times, t + window_s)
+        windows.append(PacketTrace(packets[lo:hi]))
+        t += window_s
+
+    return heuristic.estimate_trace(packet_trace, window_s=window_s, start=0.0)
+
+
+def test_benchmark_seed_batch_path(benchmark, multiflow_trace):
+    heuristic = IPUDPHeuristic.for_profile(QoEPipeline.for_vca("teams").profile)
+    result = benchmark.pedantic(
+        _seed_batch_estimate, args=(multiflow_trace, heuristic), rounds=3, iterations=1
+    )
+    assert len(result) >= TRACE_DURATION_S - 1
+    if benchmark.stats is not None:
+        _measured["batch_s"] = float(benchmark.stats.stats.mean)
+
+
+def test_benchmark_streaming_engine(benchmark, multiflow_trace):
+    packets = multiflow_trace.packets
+
+    def run():
+        stream = StreamingQoEPipeline(QoEPipeline.for_vca("teams"))
+        count = 0
+        for _ in stream.process(iter(packets)):
+            count += 1
+        count += len(stream.flush())
+        return count, len(stream.flows)
+
+    (n_estimates, n_flows) = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert n_flows == 2
+    assert n_estimates >= 2 * (TRACE_DURATION_S - 1)
+    if benchmark.stats is not None:
+        _measured["streaming_s"] = float(benchmark.stats.stats.mean)
+
+
+def test_streaming_speedup_and_artifact(multiflow_trace):
+    if "batch_s" not in _measured or "streaming_s" not in _measured:
+        pytest.skip("benchmark timings unavailable (benchmarks disabled?)")
+    n_packets = len(multiflow_trace)
+    batch_pps = n_packets / _measured["batch_s"]
+    streaming_pps = n_packets / _measured["streaming_s"]
+    speedup = streaming_pps / batch_pps
+
+    payload = {
+        "benchmark": "streaming_throughput",
+        "trace": {
+            "duration_s": TRACE_DURATION_S,
+            "n_packets": n_packets,
+            "n_flows": 2,
+        },
+        "seed_batch_packets_per_s": round(batch_pps, 1),
+        "streaming_packets_per_s": round(streaming_pps, 1),
+        "speedup": round(speedup, 2),
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_streaming.json").write_text(json.dumps(payload, indent=2) + "\n")
+    save_artifact(
+        "BENCH_streaming",
+        "\n".join(
+            [
+                "Streaming vs seed-batch throughput (5-minute, 2-flow synthetic trace)",
+                f"  packets:            {n_packets}",
+                f"  seed batch:         {batch_pps:12.0f} packets/s",
+                f"  streaming engine:   {streaming_pps:12.0f} packets/s",
+                f"  speedup:            {speedup:12.2f}x  (floor: {SPEEDUP_FLOOR}x)",
+            ]
+        ),
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"streaming engine only {speedup:.2f}x faster than the seed batch path"
+    )

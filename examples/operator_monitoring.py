@@ -21,6 +21,7 @@ from repro import (
     PacketTrace,
     QoEPipeline,
     SessionConfig,
+    StreamingQoEPipeline,
     build_lab_dataset,
     LabDatasetConfig,
     simulate_call,
@@ -58,21 +59,36 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         pcap_path = capture_customer_session(Path(tmp))
         print(f"Estimating QoE from {pcap_path.name} (IP/UDP headers only) ...\n")
-        estimates = pipeline.estimate(pcap_path)
+
+        # Feed the capture through the trained pipeline's streaming engine:
+        # packets go in one at a time, per-second estimates come out as each
+        # window closes -- the same loop a live deployment would run.
+        monitor = StreamingQoEPipeline(pipeline, demux_flows=False)
+        trace = PacketTrace.from_pcap(pcap_path, vca="webex")
 
         alerts = 0
-        for estimate in estimates:
+        n_estimates = 0
+
+        def report(estimate) -> None:
+            nonlocal alerts, n_estimates
             degraded = (
                 estimate.frame_rate < FPS_ALERT_THRESHOLD
                 or estimate.bitrate_kbps < BITRATE_ALERT_THRESHOLD_KBPS
             )
             flag = "  <-- degraded QoE" if degraded else ""
             alerts += int(degraded)
+            n_estimates += 1
             print(
                 f"t={int(estimate.window_start):>3}s  fps={estimate.frame_rate:5.1f}  "
                 f"bitrate={estimate.bitrate_kbps:7.0f} kbps  jitter={estimate.frame_jitter_ms:5.1f} ms{flag}"
             )
-        print(f"\n{alerts} of {len(estimates)} seconds flagged as degraded.")
+
+        for emitted in monitor.process(trace):
+            report(emitted.estimate)
+        for emitted in monitor.flush():
+            report(emitted.estimate)  # the final window(s) held at end of capture
+
+        print(f"\n{alerts} of {n_estimates} seconds flagged as degraded.")
         print("Flags should cluster inside the congestion window injected between t=8s and t=16s.")
 
 

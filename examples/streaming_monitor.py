@@ -1,0 +1,98 @@
+"""Live-capture workflow: estimate QoE packet-by-packet, per flow, as calls run.
+
+Where ``operator_monitoring.py`` trains a model and scores a finished pcap,
+this example shows the deployment mode the paper actually targets: a passive
+monitor in the middle of the network seeing the *interleaved* packets of
+several concurrent VCA sessions, one at a time, with no ability to buffer the
+capture.  :class:`repro.StreamingQoEPipeline` demultiplexes the packets by
+5-tuple and emits a per-second estimate for each flow the moment the second
+can no longer change -- memory stays bounded by the window size no matter how
+long the calls last.
+
+Run with:  python examples/streaming_monitor.py
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro import (
+    ConditionSchedule,
+    NetworkCondition,
+    SessionConfig,
+    StreamingQoEPipeline,
+    simulate_call,
+)
+
+FPS_ALERT_THRESHOLD = 18.0
+
+
+def live_packet_feed():
+    """Two concurrent Teams sessions, merged into one arrival-ordered feed.
+
+    Session A runs over a healthy link; session B hits congestion mid-call.
+    (A real deployment would read packets from a capture interface instead.)
+    """
+    healthy = ConditionSchedule.constant(
+        NetworkCondition(throughput_kbps=2500.0, delay_ms=35.0, jitter_ms=4.0), 20
+    )
+    congested = ConditionSchedule(
+        [NetworkCondition(throughput_kbps=2000.0, delay_ms=40.0, jitter_ms=5.0)] * 7
+        + [NetworkCondition(throughput_kbps=150.0, delay_ms=140.0, jitter_ms=25.0, loss_rate=0.06)] * 7
+        + [NetworkCondition(throughput_kbps=1800.0, delay_ms=40.0, jitter_ms=5.0)] * 6
+    )
+    session_a = simulate_call(
+        SessionConfig(vca="teams", duration_s=20, seed=11, call_id="flat-a"), healthy
+    )
+    session_b = simulate_call(
+        SessionConfig(
+            vca="teams",
+            duration_s=20,
+            seed=12,
+            call_id="congested-b",
+            client_ip="10.0.0.2",  # a second household: distinct 5-tuple
+            client_port=50002,
+        ),
+        congested,
+    )
+    packets_a = (p.without_rtp().without_ground_truth() for p in session_a.trace)
+    packets_b = (p.without_rtp().without_ground_truth() for p in session_b.trace)
+    # Merge the two captures into one interleaved arrival stream.
+    return heapq.merge(packets_a, packets_b, key=lambda p: p.timestamp)
+
+
+def main() -> None:
+    # Heuristic mode, no training.  max_frame_age_s bounds estimate latency:
+    # if a session's video stalls entirely, its windows still close (flagging
+    # the outage live) instead of waiting for the next video packet.
+    monitor = StreamingQoEPipeline.for_vca("teams", max_frame_age_s=2.0)
+    flow_names: dict = {}
+
+    print("Monitoring live feed (two interleaved sessions, one pass, O(window) memory)\n")
+    for packet in live_packet_feed():
+        # One packet in; zero or more closed per-flow windows out.
+        for emitted in monitor.push(packet):
+            name = flow_names.setdefault(emitted.flow, f"flow-{len(flow_names) + 1}")
+            estimate = emitted.estimate
+            flag = "  <-- degraded" if estimate.frame_rate < FPS_ALERT_THRESHOLD else ""
+            print(
+                f"[{name}] t={int(estimate.window_start):>3}s  "
+                f"fps={estimate.frame_rate:5.1f}  "
+                f"bitrate={estimate.bitrate_kbps:7.0f} kbps  "
+                f"jitter={estimate.frame_jitter_ms:5.1f} ms{flag}"
+            )
+
+    print("\nEnd of capture; flushing the final open windows ...")
+    for emitted in monitor.flush():
+        name = flow_names.setdefault(emitted.flow, f"flow-{len(flow_names) + 1}")
+        estimate = emitted.estimate
+        print(f"[{name}] t={int(estimate.window_start):>3}s  fps={estimate.frame_rate:5.1f}  (flush)")
+
+    print(f"\nTracked {len(monitor.flows)} flows; reorder buffers now hold "
+          f"{monitor.buffered_packets} packets, {monitor.open_windows} windows open.")
+    print("The congested session's alerts should cluster inside t=7s..14s; "
+          "the healthy session should stay clean throughout.")
+
+
+if __name__ == "__main__":
+    main()

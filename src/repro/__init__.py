@@ -20,6 +20,7 @@ Quickstart::
 """
 
 from repro.core.pipeline import PipelineEstimate, QoEPipeline
+from repro.core.streaming import StreamEstimate, StreamingQoEPipeline
 from repro.core.estimators import IPUDPMLEstimator, RTPMLEstimator
 from repro.core.heuristic import IPUDPHeuristic
 from repro.core.rtp_heuristic import RTPHeuristic
@@ -37,6 +38,8 @@ __version__ = "1.0.0"
 __all__ = [
     "QoEPipeline",
     "PipelineEstimate",
+    "StreamingQoEPipeline",
+    "StreamEstimate",
     "IPUDPMLEstimator",
     "RTPMLEstimator",
     "IPUDPHeuristic",

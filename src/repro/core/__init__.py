@@ -16,28 +16,36 @@ Supporting pieces: media classification (:mod:`repro.core.media`), windowing
 (:mod:`repro.core.windows`), feature extraction (:mod:`repro.core.features`),
 resolution binning (:mod:`repro.core.resolution`), the evaluation protocol
 (:mod:`repro.core.evaluation`), the heuristic error taxonomy
-(:mod:`repro.core.errors`) and the end-to-end pipeline
-(:mod:`repro.core.pipeline`).
+(:mod:`repro.core.errors`), the end-to-end pipeline
+(:mod:`repro.core.pipeline`) and its single-pass per-flow execution engine
+(:mod:`repro.core.streaming`).
 """
 
 from repro.core.estimators import IPUDPMLEstimator, RTPMLEstimator
 from repro.core.features import (
     IPUDP_FEATURE_NAMES,
     RTP_FEATURE_NAMES,
+    IPUDPFeatureAccumulator,
     extract_ipudp_features,
     extract_rtp_features,
 )
 from repro.core.frame_assembly import FrameAssembler, assemble_frames
 from repro.core.heuristic import IPUDPHeuristic
-from repro.core.media import MediaClassifier, MediaClassificationReport
+from repro.core.media import (
+    MediaClassificationAccumulator,
+    MediaClassificationReport,
+    MediaClassifier,
+)
 from repro.core.pipeline import QoEPipeline, PipelineEstimate
 from repro.core.resolution import ResolutionBinner, TEAMS_RESOLUTION_BINS
 from repro.core.rtp_heuristic import RTPHeuristic
+from repro.core.streaming import StreamEstimate, StreamingQoEPipeline
 from repro.core.windows import WindowedTrace, window_trace
 
 __all__ = [
     "MediaClassifier",
     "MediaClassificationReport",
+    "MediaClassificationAccumulator",
     "FrameAssembler",
     "assemble_frames",
     "IPUDPHeuristic",
@@ -46,6 +54,7 @@ __all__ = [
     "RTPMLEstimator",
     "extract_ipudp_features",
     "extract_rtp_features",
+    "IPUDPFeatureAccumulator",
     "IPUDP_FEATURE_NAMES",
     "RTP_FEATURE_NAMES",
     "WindowedTrace",
@@ -54,4 +63,6 @@ __all__ = [
     "TEAMS_RESOLUTION_BINS",
     "QoEPipeline",
     "PipelineEstimate",
+    "StreamingQoEPipeline",
+    "StreamEstimate",
 ]

@@ -174,19 +174,25 @@ class BaseMLEstimator:
         # QoE metrics are non-negative by definition.
         return np.maximum(predictions, 0.0)
 
-    def predict_windows(self, windows: list[WindowedTrace]) -> list[MLEstimateRow]:
-        """Full per-window estimates for every fitted metric."""
-        X = self.feature_matrix(windows)
+    def predict_rows(self, X: np.ndarray, window_starts) -> list[MLEstimateRow]:
+        """Per-window estimate rows for a design matrix.
+
+        The single metric-to-field mapping shared by the batch
+        (:meth:`predict_windows`) and streaming
+        (:meth:`~repro.core.streaming.StreamingQoEPipeline`) paths: unfitted
+        regression metrics become NaN, resolution ``None`` without a
+        classifier.
+        """
         columns: dict[str, np.ndarray] = {}
         for metric in self.regressors_:
             columns[metric] = self.predict_metric(X, metric)
         if self.classifier_ is not None:
             columns["resolution"] = self.predict_metric(X, "resolution")
         rows = []
-        for i, window in enumerate(windows):
+        for i, window_start in enumerate(window_starts):
             rows.append(
                 MLEstimateRow(
-                    window_start=window.start,
+                    window_start=window_start,
                     frame_rate=float(columns["frame_rate"][i]) if "frame_rate" in columns else float("nan"),
                     bitrate_kbps=float(columns["bitrate"][i]) if "bitrate" in columns else float("nan"),
                     frame_jitter_ms=float(columns["frame_jitter"][i]) if "frame_jitter" in columns else float("nan"),
@@ -194,6 +200,11 @@ class BaseMLEstimator:
                 )
             )
         return rows
+
+    def predict_windows(self, windows: list[WindowedTrace]) -> list[MLEstimateRow]:
+        """Full per-window estimates for every fitted metric."""
+        X = self.feature_matrix(windows)
+        return self.predict_rows(X, [window.start for window in windows])
 
     # -- interpretation -----------------------------------------------------------
 

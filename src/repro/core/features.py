@@ -32,6 +32,7 @@ __all__ = [
     "extract_flow_features",
     "extract_ipudp_features",
     "extract_rtp_features",
+    "IPUDPFeatureAccumulator",
     "MICROBURST_IAT_THRESHOLD",
 ]
 
@@ -137,6 +138,111 @@ def extract_ipudp_features(
     features.append(float(np.unique(sizes).size))
     features.append(float(_count_microbursts(timestamps, microburst_threshold)))
     return np.array(features, dtype=float)
+
+
+class IPUDPFeatureAccumulator:
+    """Incremental computation of the 14 IP/UDP features for one window.
+
+    The streaming engine creates one accumulator per open window and feeds it
+    packets as they arrive (in non-decreasing timestamp order).  Count, byte
+    sum, min/max, the unique-size set and the microburst state are maintained
+    incrementally and give O(1) mid-window introspection; the per-window size
+    and inter-arrival buffers are kept so the exact order-sensitive statistics
+    (mean, stdev, median) can be computed with the *same numpy operations* as
+    the batch extractor, and the whole accumulator is dropped when the window
+    closes -- memory is O(packets per window), never O(trace).
+
+    Produces a feature vector bit-identical to
+    :func:`extract_ipudp_features` on the same window: a last-ulp difference
+    could otherwise cross a forest split threshold and make streaming and
+    batch predictions diverge nondeterministically.
+    """
+
+    __slots__ = (
+        "window_s",
+        "classifier",
+        "microburst_threshold",
+        "n",
+        "byte_sum",
+        "size_min",
+        "size_max",
+        "unique_sizes",
+        "microbursts",
+        "_last_timestamp",
+        "_sizes",
+        "_iats",
+    )
+
+    def __init__(
+        self,
+        window_s: float,
+        classifier: MediaClassifier | None = None,
+        microburst_threshold: float = MICROBURST_IAT_THRESHOLD,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = window_s
+        self.classifier = classifier if classifier is not None else MediaClassifier()
+        self.microburst_threshold = microburst_threshold
+        # Live counters, readable mid-window (a monitor can report the
+        # partial second without touching the buffers).
+        self.n = 0
+        self.byte_sum = 0.0
+        self.size_min = float("inf")
+        self.size_max = float("-inf")
+        self.unique_sizes: set[int] = set()
+        self.microbursts = 0
+        self._last_timestamp: float | None = None
+        self._sizes: list[float] = []
+        self._iats: list[float] = []
+
+    def push(self, packet: Packet) -> bool:
+        """Account one packet; returns whether it counted as (predicted) video.
+
+        Packets must arrive in non-decreasing timestamp order (the streaming
+        engine's reorder buffer guarantees this), matching the batch
+        extractor's sort of the window's timestamps.
+        """
+        if not self.classifier.is_video(packet):
+            return False
+        size = float(packet.payload_size)
+        self.n += 1
+        self.byte_sum += size
+        if size < self.size_min:
+            self.size_min = size
+        if size > self.size_max:
+            self.size_max = size
+        self.unique_sizes.add(packet.payload_size)
+        self._sizes.append(size)
+        if self._last_timestamp is None:
+            self.microbursts = 1
+        else:
+            gap = packet.timestamp - self._last_timestamp
+            if gap >= self.microburst_threshold:
+                self.microbursts += 1
+            self._iats.append(gap)
+        self._last_timestamp = packet.timestamp
+        return True
+
+    def features(self) -> np.ndarray:
+        """The 14-feature vector for the window accumulated so far.
+
+        The five-number summaries are computed from the buffers with the same
+        numpy calls as the batch extractor (pairwise summation and all), so
+        the result is bit-identical, not merely close; the running counters
+        drive the exact integer features and the incremental state.
+        """
+        sizes = np.asarray(self._sizes, dtype=float)
+        iats = np.asarray(self._iats, dtype=float)
+        features = [
+            float(sizes.sum()) / self.window_s,  # bytes per second
+            self.n / self.window_s,              # packets per second
+        ]
+        features.extend(_five_stats(sizes))
+        features.extend(_five_stats(iats))
+        features.append(float(len(self.unique_sizes)))
+        features.append(float(self.microbursts))
+        return np.array(features, dtype=float)
 
 
 def _rtp_lag_stats(video_packets: list[Packet]) -> list[float]:

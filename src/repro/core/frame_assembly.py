@@ -9,6 +9,7 @@ starts a new frame.  The lookback absorbs bounded packet reordering.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -64,7 +65,15 @@ class AssembledFrame:
 
 
 class FrameAssembler:
-    """Implementation of Algorithm 1 (Appendix B).
+    """Implementation of Algorithm 1 (Appendix B), as an online operator.
+
+    The assembler is a push-based stream processor: feed packets in arrival
+    order with :meth:`push` and collect frames as soon as they can no longer
+    change.  The retained state is bounded by ``lookback`` -- the last
+    ``lookback`` (packet, frame) assignments plus the (at most ``lookback``)
+    frames those packets belong to -- so the assembler can run forever over a
+    live capture without growing.  :meth:`assemble` is a thin batch adapter
+    over the same code path.
 
     Parameters
     ----------
@@ -83,6 +92,86 @@ class FrameAssembler:
             raise ValueError("lookback must be >= 1")
         self.delta_size = delta_size
         self.lookback = lookback
+        self.reset()
+
+    # -- streaming interface ---------------------------------------------------
+
+    def reset(self) -> None:
+        """Discard all streaming state (recent assignments and open frames)."""
+        # The frame each recent packet was assigned to, most recent last.
+        self._recent: deque[tuple[Packet, AssembledFrame]] = deque()
+        # frame_index -> number of its packets still inside the lookback.
+        self._live: dict[int, int] = {}
+        self._open: dict[int, AssembledFrame] = {}
+        self._next_index = 0
+
+    @property
+    def open_frames(self) -> list[AssembledFrame]:
+        """Frames that may still gain packets (at most ``lookback`` of them)."""
+        return [self._open[index] for index in sorted(self._open)]
+
+    def push(self, packet: Packet) -> list[AssembledFrame]:
+        """Feed one packet (non-decreasing arrival order).
+
+        Returns the frames that became *final* as a result: a frame is final
+        once none of its packets remain within the lookback, because no future
+        packet can then join it.  Callers that need the paper's frame order
+        should sort finalized frames by ``frame_index`` (creation order).
+        """
+        assigned_frame: AssembledFrame | None = None
+        for previous, frame in reversed(self._recent):
+            if abs(previous.payload_size - packet.payload_size) <= self.delta_size:
+                assigned_frame = frame
+                break
+        if assigned_frame is None:
+            assigned_frame = AssembledFrame(frame_index=self._next_index)
+            self._next_index += 1
+            self._open[assigned_frame.frame_index] = assigned_frame
+            self._live[assigned_frame.frame_index] = 0
+        assigned_frame.add(packet)
+        self._recent.append((packet, assigned_frame))
+        self._live[assigned_frame.frame_index] += 1
+
+        finalized: list[AssembledFrame] = []
+        if len(self._recent) > self.lookback:
+            _, old_frame = self._recent.popleft()
+            index = old_frame.frame_index
+            self._live[index] -= 1
+            if self._live[index] == 0:
+                del self._live[index]
+                del self._open[index]
+                finalized.append(old_frame)
+        return finalized
+
+    def flush(self) -> list[AssembledFrame]:
+        """Finalize and return the remaining open frames; resets the stream."""
+        remaining = [self._open[index] for index in sorted(self._open)]
+        self.reset()
+        return remaining
+
+    def finalize_stale(self, older_than: float) -> list[AssembledFrame]:
+        """Force-finalize open frames whose last packet predates ``older_than``.
+
+        Algorithm 1's lookback is packet-count based, so when a stream's video
+        stalls (camera off, total loss) the last frame stays open indefinitely
+        and a live monitor would stop emitting windows.  This evicts such
+        frames -- and their entries in the lookback -- so estimate latency
+        stays bounded in wall-clock terms.  Batch assembly never needs it.
+        """
+        stale = [frame for frame in self._open.values() if frame.end_time < older_than]
+        if not stale:
+            return []
+        stale_ids = {frame.frame_index for frame in stale}
+        self._recent = deque(
+            (packet, frame) for packet, frame in self._recent
+            if frame.frame_index not in stale_ids
+        )
+        for frame in stale:
+            del self._open[frame.frame_index]
+            del self._live[frame.frame_index]
+        return sorted(stale, key=lambda f: f.frame_index)
+
+    # -- batch adapters --------------------------------------------------------
 
     def assemble(self, packets) -> list[AssembledFrame]:
         """Group ``packets`` (in arrival order) into frames.
@@ -90,26 +179,19 @@ class FrameAssembler:
         Every packet is assigned to exactly one frame.  A packet joins the
         frame of the most recently seen packet (among the last ``lookback``)
         whose size is within ``delta_size`` bytes; otherwise it opens a new
-        frame.
-        """
-        ordered = sorted(packets, key=lambda p: p.timestamp)
-        frames: list[AssembledFrame] = []
-        # The frame each recent packet was assigned to, most recent last.
-        recent: list[tuple[Packet, AssembledFrame]] = []
+        frame.  This is the batch adapter over :meth:`push`/:meth:`flush`.
 
-        for packet in ordered:
-            assigned_frame: AssembledFrame | None = None
-            for previous, frame in reversed(recent[-self.lookback :]):
-                if abs(previous.payload_size - packet.payload_size) <= self.delta_size:
-                    assigned_frame = frame
-                    break
-            if assigned_frame is None:
-                assigned_frame = AssembledFrame(frame_index=len(frames))
-                frames.append(assigned_frame)
-            assigned_frame.add(packet)
-            recent.append((packet, assigned_frame))
-            if len(recent) > self.lookback:
-                recent = recent[-self.lookback :]
+        .. warning:: This **resets the instance's streaming state** first --
+           do not call it on an assembler that is concurrently being driven
+           via :meth:`push`; give each live stream its own instance (as the
+           streaming engine does).
+        """
+        self.reset()
+        frames: list[AssembledFrame] = []
+        for packet in sorted(packets, key=lambda p: p.timestamp):
+            frames.extend(self.push(packet))
+        frames.extend(self.flush())
+        frames.sort(key=lambda f: f.frame_index)
         return frames
 
     def assemble_trace(self, trace: PacketTrace) -> list[AssembledFrame]:

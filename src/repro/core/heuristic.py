@@ -20,7 +20,7 @@ import numpy as np
 from repro.core.frame_assembly import AssembledFrame, FrameAssembler
 from repro.core.media import MediaClassifier
 from repro.core.windows import WindowedTrace
-from repro.net.trace import PacketTrace
+from repro.net.trace import PacketTrace, window_grid
 from repro.webrtc.profiles import VCAProfile
 
 __all__ = ["HeuristicEstimate", "IPUDPHeuristic"]
@@ -47,14 +47,24 @@ class HeuristicEstimate:
 
 
 def estimates_from_frames(
-    frames: list[AssembledFrame], window_start: float, window_s: float
+    frames: list[AssembledFrame],
+    window_start: float,
+    window_s: float,
+    window_end: float | None = None,
 ) -> HeuristicEstimate:
-    """Turn a window's assembled frames into the three heuristic QoE metrics."""
+    """Turn a window's assembled frames into the three heuristic QoE metrics.
+
+    ``window_end`` overrides the membership upper bound.  Callers iterating a
+    drift-free grid must pass the *next* window's start (``start + (k+1) *
+    window_s``) so that with fractional windows a frame ending exactly on a
+    boundary is attributed to exactly one window -- ``window_start +
+    window_s`` and the next start differ in the last ulp.
+    """
     if window_s <= 0:
         raise ValueError("window_s must be positive")
-    in_window = [
-        f for f in frames if window_start <= f.end_time < window_start + window_s
-    ]
+    if window_end is None:
+        window_end = window_start + window_s
+    in_window = [f for f in frames if window_start <= f.end_time < window_end]
     in_window.sort(key=lambda f: f.end_time)
 
     frame_rate = len(in_window) / window_s
@@ -116,9 +126,7 @@ class IPUDPHeuristic:
         if end is None:
             end = trace.end_time
         frames = self.assemble(trace)
-        estimates = []
-        t = start
-        while t < end:
-            estimates.append(estimates_from_frames(frames, t, window_s))
-            t += window_s
-        return estimates
+        return [
+            estimates_from_frames(frames, t, window_s, window_end=next_t)
+            for _, t, next_t in window_grid(start, window_s, end)
+        ]

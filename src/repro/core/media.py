@@ -17,7 +17,12 @@ import numpy as np
 from repro.net.packet import MediaType, Packet
 from repro.net.trace import PacketTrace
 
-__all__ = ["MediaClassifier", "MediaClassificationReport", "DEFAULT_VIDEO_SIZE_THRESHOLD"]
+__all__ = [
+    "MediaClassifier",
+    "MediaClassificationReport",
+    "MediaClassificationAccumulator",
+    "DEFAULT_VIDEO_SIZE_THRESHOLD",
+]
 
 #: Default V_min (bytes).  Chosen from lab traces: above the audio range,
 #: below the 1st percentile of video packet sizes.
@@ -75,6 +80,46 @@ class MediaClassificationReport:
             return np.where(row_sums > 0, matrix / row_sums, 0.0)
 
 
+class MediaClassificationAccumulator:
+    """Online confusion counts for video-vs-non-video classification.
+
+    Feed packets one at a time with :meth:`push`; the accumulator keeps four
+    running counters (O(1) state, no trace-wide pass) and can produce a
+    :class:`MediaClassificationReport` at any point.  This is the streaming
+    counterpart of :meth:`MediaClassifier.evaluate`.
+    """
+
+    def __init__(self, classifier: "MediaClassifier") -> None:
+        self.classifier = classifier
+        self.video_as_video = 0
+        self.video_as_nonvideo = 0
+        self.nonvideo_as_video = 0
+        self.nonvideo_as_nonvideo = 0
+
+    def push(self, packet: Packet) -> bool:
+        """Classify one packet, updating confusion counts when ground truth is present."""
+        predicted_video = self.classifier.is_video(packet)
+        if packet.media_type is not None:
+            actually_video = packet.media_type is MediaType.VIDEO
+            if actually_video and predicted_video:
+                self.video_as_video += 1
+            elif actually_video:
+                self.video_as_nonvideo += 1
+            elif predicted_video:
+                self.nonvideo_as_video += 1
+            else:
+                self.nonvideo_as_nonvideo += 1
+        return predicted_video
+
+    def report(self) -> MediaClassificationReport:
+        return MediaClassificationReport(
+            video_as_video=self.video_as_video,
+            video_as_nonvideo=self.video_as_nonvideo,
+            nonvideo_as_video=self.nonvideo_as_video,
+            nonvideo_as_nonvideo=self.nonvideo_as_nonvideo,
+        )
+
+
 class MediaClassifier:
     """Size-threshold video packet identification.
 
@@ -103,6 +148,21 @@ class MediaClassifier:
             return False
         return packet.payload_size >= self.video_size_threshold
 
+    def push(self, packet: Packet) -> bool:
+        """Streaming entry point: classify one packet as it arrives.
+
+        The classifier is stateless per packet, so ``push`` is simply
+        :meth:`is_video`; it exists so the streaming engine can treat the
+        classifier like the other online operators (assembler, accumulators).
+        Use :class:`MediaClassificationAccumulator` to additionally track
+        online confusion counts.
+        """
+        return self.is_video(packet)
+
+    def stream_evaluator(self) -> MediaClassificationAccumulator:
+        """A fresh online confusion-count accumulator bound to this classifier."""
+        return MediaClassificationAccumulator(self)
+
     def video_packets(self, trace: PacketTrace) -> PacketTrace:
         """The sub-trace of packets classified as video."""
         return trace.filter(self.is_video)
@@ -121,27 +181,10 @@ class MediaClassifier:
         frames); retransmissions, audio and control packets count as non-video.
         Packets lacking a ground-truth annotation are skipped.
         """
-        video_as_video = video_as_nonvideo = 0
-        nonvideo_as_video = nonvideo_as_nonvideo = 0
+        accumulator = self.stream_evaluator()
         for packet in trace:
-            if packet.media_type is None:
-                continue
-            predicted_video = self.is_video(packet)
-            actually_video = packet.media_type is MediaType.VIDEO
-            if actually_video and predicted_video:
-                video_as_video += 1
-            elif actually_video:
-                video_as_nonvideo += 1
-            elif predicted_video:
-                nonvideo_as_video += 1
-            else:
-                nonvideo_as_nonvideo += 1
-        return MediaClassificationReport(
-            video_as_video=video_as_video,
-            video_as_nonvideo=video_as_nonvideo,
-            nonvideo_as_video=nonvideo_as_video,
-            nonvideo_as_nonvideo=nonvideo_as_nonvideo,
-        )
+            accumulator.push(packet)
+        return accumulator.report()
 
     @classmethod
     def calibrate(cls, traces: list[PacketTrace], percentile: float = 99.5) -> "MediaClassifier":

@@ -4,8 +4,21 @@ A :class:`QoEPipeline` is what a network operator would deploy: point it at a
 packet trace of a VCA session (pcap file or :class:`~repro.net.trace.PacketTrace`)
 and get per-second QoE estimates back.  The pipeline combines the trained
 IP/UDP ML models with the IP/UDP heuristic (used as a fallback when no model
-has been trained for a metric) and never looks at RTP headers or ground-truth
-annotations.
+has been trained) and never looks at RTP headers or ground-truth annotations.
+
+Architecture
+------------
+Estimation is *streaming-first*.  The actual execution engine is
+:class:`~repro.core.streaming.StreamingQoEPipeline`: a single-pass, per-flow
+operator chain (media classification -> online frame assembly -> incremental
+feature accumulation -> per-window inference) whose retained state is bounded
+by the window size, never the trace length.  :meth:`QoEPipeline.estimate` is
+a thin *batch adapter* over that engine -- it feeds the materialized trace
+through the stream in single-flow mode and collects the emitted windows -- so
+the batch and streaming code paths share one implementation and cannot
+diverge.  Training, which inherently needs the labelled lab traces aligned
+with per-second ground truth, remains a batch operation over
+:func:`~repro.core.windows.match_windows_to_ground_truth`.
 """
 
 from __future__ import annotations
@@ -17,7 +30,7 @@ import numpy as np
 
 from repro.core.estimators import IPUDPMLEstimator, REGRESSION_METRICS
 from repro.core.heuristic import IPUDPHeuristic
-from repro.core.windows import match_windows_to_ground_truth, window_trace
+from repro.core.windows import match_windows_to_ground_truth
 from repro.net.trace import PacketTrace
 from repro.webrtc.profiles import VCAProfile, get_profile
 from repro.webrtc.session import CallResult
@@ -119,45 +132,20 @@ class QoEPipeline:
     def estimate(self, trace: PacketTrace | str | Path) -> list[PipelineEstimate]:
         """Per-window QoE estimates for a session trace.
 
-        The trace is consumed exactly as an IP/UDP monitor would see it: RTP
-        headers and ground-truth annotations, if present, are stripped first.
+        This is a batch adapter over the streaming engine
+        (:class:`~repro.core.streaming.StreamingQoEPipeline`): the trace is
+        fed through the single-pass per-flow operators in single-flow mode
+        and the emitted windows are collected.  Only IP/UDP header fields
+        (timestamp, 5-tuple, payload size) are ever read, so the trace is
+        consumed exactly as an IP/UDP monitor would see it regardless of any
+        RTP headers or ground-truth annotations it may carry.
         """
-        packet_trace = self._load_trace(trace).without_ground_truth().without_rtp()
-        windows = window_trace(packet_trace, window_s=float(self.window_s), start=0.0)
-        if not windows:
+        from repro.core.streaming import StreamingQoEPipeline
+
+        packet_trace = self._load_trace(trace)
+        if not packet_trace:
             return []
-
-        heuristic_estimates = self.heuristic.estimate_trace(
-            packet_trace, window_s=float(self.window_s), start=0.0
-        )
-
-        if self._trained:
-            ml_rows = self.ml.predict_windows(windows)
-            estimates = []
-            for row in ml_rows:
-                estimates.append(
-                    PipelineEstimate(
-                        window_start=row.window_start,
-                        frame_rate=row.frame_rate,
-                        bitrate_kbps=row.bitrate_kbps,
-                        frame_jitter_ms=row.frame_jitter_ms,
-                        resolution=row.resolution,
-                        source="ml",
-                    )
-                )
-            return estimates
-
-        return [
-            PipelineEstimate(
-                window_start=est.window_start,
-                frame_rate=est.frame_rate,
-                bitrate_kbps=est.bitrate_kbps,
-                frame_jitter_ms=est.frame_jitter_ms,
-                resolution=None,
-                source="heuristic",
-            )
-            for est in heuristic_estimates
-        ]
+        return StreamingQoEPipeline(self, demux_flows=False).batch_estimates(packet_trace)
 
     def estimate_call(self, call: CallResult) -> list[PipelineEstimate]:
         """Convenience wrapper estimating a simulated call's trace."""

@@ -17,7 +17,7 @@ import numpy as np
 from repro.core.heuristic import HeuristicEstimate, estimates_from_frames
 from repro.core.frame_assembly import AssembledFrame
 from repro.net.packet import Packet
-from repro.net.trace import PacketTrace
+from repro.net.trace import PacketTrace, window_grid
 from repro.rtp.payload_types import PayloadTypeMap
 from repro.webrtc.profiles import VCAProfile
 
@@ -72,9 +72,7 @@ class RTPHeuristic:
         if end is None:
             end = trace.end_time
         frames = self.assemble(trace)
-        estimates = []
-        t = start
-        while t < end:
-            estimates.append(estimates_from_frames(frames, t, window_s))
-            t += window_s
-        return estimates
+        return [
+            estimates_from_frames(frames, t, window_s, window_end=next_t)
+            for _, t, next_t in window_grid(start, window_s, end)
+        ]

@@ -1,0 +1,550 @@
+"""Streaming per-flow QoE estimation engine (the deployable architecture).
+
+The paper's deployment target is a passive monitor in the middle of the
+network: packets of many concurrent VCA sessions arrive interleaved, one at a
+time, and the operator wants per-second QoE estimates per session *as the
+call is happening*.  :class:`StreamingQoEPipeline` is that engine:
+
+* packets are consumed from any iterator (live capture, pcap reader,
+  :class:`~repro.net.trace.PacketTrace`) in a **single pass**;
+* traffic is demultiplexed by unidirectional 5-tuple via
+  :class:`~repro.net.flows.FlowTable` (non-buffering mode), one independent
+  estimation stream per flow;
+* each flow stream runs the same operators as the batch pipeline -- media
+  classification, online frame assembly (Algorithm 1), incremental IP/UDP
+  feature accumulation -- and emits a
+  :class:`~repro.core.pipeline.PipelineEstimate` the moment a window can no
+  longer change;
+* retained state is **O(window)** per flow: a reorder buffer bounded by the
+  assembler lookback, the assembler's lookback state, and the accumulators /
+  frame buckets of the currently-open windows.  Nothing scales with trace
+  length.
+
+:meth:`QoEPipeline.estimate <repro.core.pipeline.QoEPipeline.estimate>` is a
+thin batch adapter over this engine, so the batch and streaming paths cannot
+diverge.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.core.features import IPUDPFeatureAccumulator
+from repro.core.frame_assembly import AssembledFrame, FrameAssembler
+from repro.core.heuristic import estimates_from_frames
+from repro.core.media import MediaClassifier
+from repro.net.flows import FlowKey, FlowTable
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.core.pipeline import PipelineEstimate, QoEPipeline
+
+__all__ = ["StreamEstimate", "StreamingQoEPipeline", "window_index"]
+
+
+def window_index(timestamp: float, start: float, window_s: float) -> int:
+    """The window ``k`` with ``start + k*window_s <= timestamp < start + (k+1)*window_s``.
+
+    Uses the same boundary arithmetic (index multiplication) as the batch
+    windowing, with an explicit adjustment step so float round-off in the
+    division can never place a timestamp on the wrong side of a boundary.
+    """
+    k = int(math.floor((timestamp - start) / window_s))
+    while timestamp >= start + (k + 1) * window_s:
+        k += 1
+    while k > 0 and timestamp < start + k * window_s:
+        k -= 1
+    return k
+
+
+@dataclass(frozen=True)
+class StreamEstimate:
+    """A per-window estimate emitted by the streaming engine for one flow.
+
+    ``flow`` is the unidirectional 5-tuple the estimate belongs to, or
+    ``None`` when the engine runs in single-flow mode (``demux_flows=False``).
+    """
+
+    flow: FlowKey | None
+    estimate: "PipelineEstimate"
+
+
+class _FlowStream:
+    """Per-flow streaming state: reorder buffer, online operators, open windows.
+
+    All retained state is bounded: the reorder buffer holds at most
+    ``reorder_depth`` packets, the assembler keeps ``lookback`` assignments,
+    and only windows that are still open hold accumulators / frame buckets
+    (dropped the moment the window closes).
+    """
+
+    def __init__(
+        self,
+        window_s: float,
+        start: float,
+        reorder_depth: int,
+        classifier: MediaClassifier,
+        assembler: FrameAssembler | None,
+        predict: Callable[[np.ndarray, float], "PipelineEstimate | None"] | None,
+        max_frame_age_s: float | None = None,
+        backfill_limit: int | None = 0,
+    ) -> None:
+        self.window_s = window_s
+        self.start = start
+        self.reorder_depth = reorder_depth
+        self.max_frame_age_s = max_frame_age_s
+        self.backfill_limit = backfill_limit
+        self.classifier = classifier
+        #: Online frame assembler (heuristic mode) -- one per flow.
+        self.assembler = assembler
+        #: ML predictor callback (trained mode); ``None`` -> heuristic mode.
+        self.predict = predict
+        self._pending: list[tuple[float, int, Packet]] = []
+        self._seq = 0
+        self._watermark: float | None = None
+        #: Arrival time of the newest packet ever pushed (unlike the
+        #: watermark, set even while everything still sits in the reorder
+        #: buffer) -- the idle-eviction signal.
+        self.last_seen: float | None = None
+        self._next_window = 0
+        # Heuristic mode: finalized frames keyed by the window their end time
+        # falls in; dropped when the window is emitted.
+        self._frame_buckets: dict[int, list[AssembledFrame]] = {}
+        # Trained mode: the accumulator of the (single) window currently being
+        # filled -- released packets arrive in timestamp order, so at most one
+        # feature window is ever open.
+        self._acc: IPUDPFeatureAccumulator | None = None
+        self._acc_index = -1
+
+    # -- introspection (used by the memory-bound tests) ------------------------
+
+    @property
+    def buffered_packets(self) -> int:
+        return len(self._pending)
+
+    @property
+    def open_windows(self) -> int:
+        return len(self._frame_buckets) + (1 if self._acc is not None else 0)
+
+    # -- streaming -------------------------------------------------------------
+
+    def push(self, packet: Packet) -> list["PipelineEstimate"]:
+        """Feed one packet; returns estimates for any windows that closed."""
+        if self.last_seen is None or packet.timestamp > self.last_seen:
+            self.last_seen = packet.timestamp
+        heapq.heappush(self._pending, (packet.timestamp, self._seq, packet))
+        self._seq += 1
+        if len(self._pending) <= self.reorder_depth:
+            return []
+        _, _, released = heapq.heappop(self._pending)
+        return self._release(released)
+
+    def flush(self) -> list["PipelineEstimate"]:
+        """Drain the reorder buffer, finalize open frames, close all windows."""
+        estimates: list[PipelineEstimate] = []
+        while self._pending:
+            _, _, released = heapq.heappop(self._pending)
+            estimates.extend(self._release(released))
+        if self._watermark is None:
+            return estimates
+        if self.predict is None:
+            assert self.assembler is not None
+            for frame in self.assembler.flush():
+                self._bucket_frame(frame)
+        estimates.extend(self._close_through(window_index(self._watermark, self.start, self.window_s)))
+        return estimates
+
+    # -- internals -------------------------------------------------------------
+
+    def _release(self, packet: Packet) -> list["PipelineEstimate"]:
+        """Process one packet in (reorder-corrected) timestamp order."""
+        if self._watermark is None:
+            # First packet of the flow anchors the grid.  Without a back-fill
+            # cap, a flow first seen late on the grid (mid-capture join, or
+            # epoch-relative timestamps against start=0) would emit one empty
+            # estimate per elapsed window -- billions for an epoch capture.
+            if self.backfill_limit is not None:
+                first_window = window_index(packet.timestamp, self.start, self.window_s)
+                self._next_window = max(self._next_window, first_window - self.backfill_limit)
+        elif packet.timestamp < self._watermark:
+            # Reordered beyond the buffer's tolerance: the stream has already
+            # advanced past this timestamp, so feeding it on would corrupt
+            # the (order-sensitive) accumulator and assembler state -- and
+            # its window may even have been emitted.  Drop it instead; the
+            # batch path never hits this because traces arrive sorted.
+            return []
+        self._watermark = packet.timestamp
+        if self.predict is not None:
+            return self._release_trained(packet)
+        return self._release_heuristic(packet)
+
+    def _release_trained(self, packet: Packet) -> list["PipelineEstimate"]:
+        k = window_index(packet.timestamp, self.start, self.window_s)
+        # Every window before the packet's own is now immutable (released
+        # packets are in timestamp order), so close them immediately.
+        estimates = self._close_through(k - 1)
+        if self._acc is None or k != self._acc_index:
+            self._acc = IPUDPFeatureAccumulator(self.window_s, classifier=self.classifier)
+            self._acc_index = k
+        self._acc.push(packet)
+        return estimates
+
+    def _release_heuristic(self, packet: Packet) -> list["PipelineEstimate"]:
+        assert self.assembler is not None
+        if self.classifier.push(packet):
+            for frame in self.assembler.push(packet):
+                self._bucket_frame(frame)
+        return self._close_ready()
+
+    def _bucket_frame(self, frame: AssembledFrame) -> None:
+        k = window_index(frame.end_time, self.start, self.window_s)
+        if k >= self._next_window:  # frames for already-emitted windows cannot occur
+            self._frame_buckets.setdefault(k, []).append(frame)
+
+    def _close_ready(self) -> list["PipelineEstimate"]:
+        """Emit every heuristic window that can no longer gain frames.
+
+        Window *k* closes once the stream has advanced past its end *and* no
+        still-open frame could finalize with an end time inside it.
+        """
+        assert self.assembler is not None and self._watermark is not None
+        estimates: list[PipelineEstimate] = []
+        while True:
+            window_end = self.start + (self._next_window + 1) * self.window_s
+            if self._watermark < window_end:
+                break
+            if self.max_frame_age_s is not None:
+                # Liveness bound: frames whose video stalled long ago will
+                # never finalize on their own while only audio keeps flowing.
+                for frame in self.assembler.finalize_stale(self._watermark - self.max_frame_age_s):
+                    self._bucket_frame(frame)
+            if any(f.end_time < window_end for f in self.assembler.open_frames):
+                break  # an open frame might still finalize into this window
+            estimate = self._emit(self._next_window)
+            if estimate is not None:
+                estimates.append(estimate)
+        return estimates
+
+    def _close_through(self, last_index: int) -> list["PipelineEstimate"]:
+        estimates: list[PipelineEstimate] = []
+        while self._next_window <= last_index:
+            estimate = self._emit(self._next_window)
+            if estimate is not None:
+                estimates.append(estimate)
+        return estimates
+
+    def _emit(self, k: int) -> "PipelineEstimate | None":
+        from repro.core.pipeline import PipelineEstimate
+
+        window_start = self.start + k * self.window_s
+        self._next_window = k + 1
+        if self.predict is not None:
+            if self._acc is not None and self._acc_index == k:
+                acc = self._acc
+            else:
+                acc = IPUDPFeatureAccumulator(self.window_s, classifier=self.classifier)
+            if self._acc is not None and self._acc_index <= k:
+                self._acc = None  # consumed, or stale from excessive reordering
+            return self.predict(acc.features(), window_start)
+        frames = self._frame_buckets.pop(k, [])
+        # The upper bound is the next window's start so the membership filter
+        # agrees exactly with the window_index bucketing on fractional grids.
+        heuristic = estimates_from_frames(
+            frames, window_start, self.window_s,
+            window_end=self.start + (k + 1) * self.window_s,
+        )
+        return PipelineEstimate(
+            window_start=heuristic.window_start,
+            frame_rate=heuristic.frame_rate,
+            bitrate_kbps=heuristic.bitrate_kbps,
+            frame_jitter_ms=heuristic.frame_jitter_ms,
+            resolution=None,
+            source="heuristic",
+        )
+
+
+class StreamingQoEPipeline:
+    """Single-pass, per-flow, bounded-memory QoE estimation.
+
+    Wraps a (trained or untrained) :class:`~repro.core.pipeline.QoEPipeline`
+    and applies its estimators incrementally::
+
+        pipeline = QoEPipeline.for_vca("teams").train(lab_calls)
+        stream = StreamingQoEPipeline(pipeline)
+        for packet in live_capture:
+            for emitted in stream.push(packet):
+                handle(emitted.flow, emitted.estimate)
+        for emitted in stream.flush():
+            handle(emitted.flow, emitted.estimate)
+
+    Parameters
+    ----------
+    pipeline:
+        The configured estimator stack.  Whether the ML models or the IP/UDP
+        heuristic are used is decided by ``pipeline.is_trained`` at
+        construction time, exactly as in the batch path.
+    demux_flows:
+        When true (default), packets are demultiplexed by unidirectional
+        5-tuple and each flow gets an independent estimation stream.  When
+        false, all packets are treated as one pre-isolated session (the
+        batch-adapter mode).
+    start:
+        Time origin of the windowing grid (default 0.0, i.e. call time zero).
+    reorder_depth:
+        Size of the per-flow reorder buffer.  Defaults to the assembler
+        lookback: packets displaced by at most this many positions are
+        re-sorted transparently, mirroring the reordering tolerance of
+        Algorithm 1.  Packets arriving later than that are dropped (their
+        window may already be emitted) rather than corrupting open state.
+    max_frame_age_s:
+        Liveness bound for heuristic mode.  Algorithm 1's lookback counts
+        packets, so a total video stall (camera off, outage) leaves the last
+        frame open and would otherwise hold back every subsequent window
+        while audio keeps flowing -- precisely the degraded seconds a live
+        monitor exists to flag.  When set, open frames whose last packet
+        lags the stream by more than this many seconds are force-finalized.
+        ``None`` (default) preserves exact batch equivalence.
+    backfill_limit:
+        Maximum number of empty windows emitted before a flow's first packet
+        (default 0: a flow's first window is the one its first packet falls
+        in, on the shared grid).  This keeps a flow that joins mid-capture --
+        or a capture with epoch-relative timestamps -- from back-filling one
+        empty estimate per elapsed window since ``start``.  ``None`` means
+        unlimited, the batch contract (windows from ``start``), which
+        :meth:`batch_estimates` selects automatically.
+    """
+
+    def __init__(
+        self,
+        pipeline: "QoEPipeline",
+        demux_flows: bool = True,
+        start: float = 0.0,
+        reorder_depth: int | None = None,
+        max_frame_age_s: float | None = None,
+        backfill_limit: int | None = 0,
+    ) -> None:
+        self.pipeline = pipeline
+        self.window_s = float(pipeline.window_s)
+        self.demux_flows = demux_flows
+        self.start = start
+        self.trained = pipeline.is_trained
+        lookback = pipeline.heuristic.assembler.lookback
+        self.reorder_depth = lookback if reorder_depth is None else reorder_depth
+        self.max_frame_age_s = max_frame_age_s
+        self.backfill_limit = backfill_limit
+        self._closed = False
+        #: Per-flow aggregate statistics only -- packets are never retained.
+        self.flow_table = FlowTable(store_packets=False)
+        self._streams: dict[FlowKey | None, _FlowStream] = {}
+        self._flow_order: list[FlowKey | None] = []
+        # Batch-adapter mode: when set, trained-mode windows append
+        # ``(features, window_start)`` here instead of predicting per window,
+        # so ``batch_estimates`` can run the forests once, vectorized.
+        self._feature_rows: list[tuple[np.ndarray, float]] | None = None
+
+    @classmethod
+    def for_vca(cls, vca: str, window_s: int = 1, **kwargs) -> "StreamingQoEPipeline":
+        """An untrained (heuristic-backed) streaming pipeline for ``vca``."""
+        from repro.core.pipeline import QoEPipeline
+
+        return cls(QoEPipeline.for_vca(vca, window_s=window_s), **kwargs)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def flows(self) -> list[FlowKey]:
+        """The 5-tuples seen so far (demux mode), in first-seen order."""
+        return [key for key in self._flow_order if key is not None]
+
+    @property
+    def buffered_packets(self) -> int:
+        """Total packets currently held in reorder buffers (bounded)."""
+        return sum(stream.buffered_packets for stream in self._streams.values())
+
+    @property
+    def open_windows(self) -> int:
+        """Total windows currently open across all flows (bounded)."""
+        return sum(stream.open_windows for stream in self._streams.values())
+
+    # -- streaming -------------------------------------------------------------
+
+    def push(self, packet: Packet) -> list[StreamEstimate]:
+        """Feed one packet; returns estimates for any windows that closed.
+
+        In single-flow mode the 5-tuple bookkeeping is skipped entirely (the
+        session is pre-isolated by contract), keeping the batch adapter's
+        per-packet cost to the estimation operators alone.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "this engine was flushed (end of capture); construct a new "
+                "StreamingQoEPipeline for the next capture"
+            )
+        if self.demux_flows:
+            key: FlowKey | None = self.flow_table.add(packet)
+        else:
+            key = None
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = self._make_stream()
+            self._streams[key] = stream
+            self._flow_order.append(key)
+        return [StreamEstimate(flow=key, estimate=e) for e in stream.push(packet)]
+
+    def process(self, packets: Iterable[Packet]) -> Iterator[StreamEstimate]:
+        """Consume a packet iterator, yielding estimates as windows close."""
+        for packet in packets:
+            yield from self.push(packet)
+
+    def flush(self) -> list[StreamEstimate]:
+        """End of capture: close every remaining window of every flow.
+
+        The engine is closed afterwards -- per-flow watermarks cannot be
+        rewound, so pushing a new capture into a flushed engine would
+        silently discard every packet as stale reordering.  Further
+        :meth:`push` calls raise; flushing again is a no-op.
+        """
+        if self._closed:
+            return []
+        self._closed = True
+        emitted: list[StreamEstimate] = []
+        for key in self._flow_order:
+            for estimate in self._streams[key].flush():
+                emitted.append(StreamEstimate(flow=key, estimate=estimate))
+        return emitted
+
+    def evict_idle(self, idle_s: float) -> list[StreamEstimate]:
+        """Flush and drop flows with no packets in the last ``idle_s`` seconds.
+
+        A monitor that runs forever sees an unbounded number of 5-tuples come
+        and go; calling this periodically keeps total memory proportional to
+        the number of *live* flows rather than flows ever seen.  Evicted
+        flows' remaining windows are closed and returned; if such a flow
+        later resumes, it simply re-enters as a fresh flow (``backfill_limit``
+        bounds the gap windows).
+        """
+        newest = max(
+            (s.last_seen for s in self._streams.values() if s.last_seen is not None),
+            default=None,
+        )
+        if newest is None:
+            return []
+        emitted: list[StreamEstimate] = []
+        for key in list(self._flow_order):
+            stream = self._streams[key]
+            # Keyed off last *arrival*, not the watermark: a tiny flow whose
+            # only packets still sit in the reorder buffer must be evictable
+            # too (its buffered packets are drained by the flush).
+            if stream.last_seen is not None and newest - stream.last_seen > idle_s:
+                for estimate in stream.flush():
+                    emitted.append(StreamEstimate(flow=key, estimate=estimate))
+                del self._streams[key]
+                self._flow_order.remove(key)
+                if key is not None:
+                    self.flow_table.remove(key)
+        return emitted
+
+    def estimates_for(self, packets: Iterable[Packet]) -> list[StreamEstimate]:
+        """Convenience: process ``packets`` to exhaustion and flush."""
+        emitted = list(self.process(packets))
+        emitted.extend(self.flush())
+        return emitted
+
+    def batch_estimates(self, packets: Iterable[Packet]) -> list["PipelineEstimate"]:
+        """Single-session batch scoring (the ``QoEPipeline.estimate`` backend).
+
+        Streams ``packets`` through the engine in single-flow mode, then
+        truncates to the batch window grid ``[0, end_time)`` -- the stream
+        also closes the window *starting* exactly at the last timestamp,
+        which the batch contract excludes.  In trained mode the per-window
+        feature vectors are collected during the pass and the per-metric
+        forests run once over all windows (vectorized), which is
+        row-for-row identical to predicting at each window close but avoids
+        per-window inference overhead.
+        """
+        if self.demux_flows:
+            raise RuntimeError("batch_estimates requires demux_flows=False (one session)")
+        if self._streams:
+            raise RuntimeError("batch_estimates requires a fresh engine")
+        # The batch contract covers [start, end_time) in full, including
+        # leading empty windows.
+        self.backfill_limit = None
+        if self.trained:
+            self._feature_rows = []
+        try:
+            estimates = [emitted.estimate for emitted in self.process(packets)]
+            estimates.extend(emitted.estimate for emitted in self.flush())
+            stream = self._streams.get(None)
+            watermark = stream._watermark if stream is not None else None
+            if watermark is None:
+                return []
+            # Number of windows k with start + k*window_s < watermark.
+            k = window_index(watermark, self.start, self.window_s)
+            n_windows = k if self.start + k * self.window_s >= watermark else k + 1
+            if self.trained:
+                assert self._feature_rows is not None
+                return self._predict_batch(self._feature_rows[:n_windows])
+            return estimates[:n_windows]
+        finally:
+            self._feature_rows = None
+
+    # -- internals -------------------------------------------------------------
+
+    def _make_stream(self) -> _FlowStream:
+        if self.trained:
+            return _FlowStream(
+                window_s=self.window_s,
+                start=self.start,
+                reorder_depth=self.reorder_depth,
+                classifier=self.pipeline.ml.media_classifier,
+                assembler=None,
+                predict=self._collect_row if self._feature_rows is not None else self._predict_row,
+                backfill_limit=self.backfill_limit,
+            )
+        template = self.pipeline.heuristic.assembler
+        return _FlowStream(
+            window_s=self.window_s,
+            start=self.start,
+            reorder_depth=self.reorder_depth,
+            classifier=self.pipeline.heuristic.classifier,
+            assembler=FrameAssembler(delta_size=template.delta_size, lookback=template.lookback),
+            predict=None,
+            max_frame_age_s=self.max_frame_age_s,
+            backfill_limit=self.backfill_limit,
+        )
+
+    def _collect_row(self, features: np.ndarray, window_start: float) -> None:
+        """Batch-adapter predict hook: defer inference, remember the features."""
+        assert self._feature_rows is not None
+        self._feature_rows.append((features, window_start))
+        return None
+
+    def _predict_batch(self, rows: list[tuple[np.ndarray, float]]) -> list["PipelineEstimate"]:
+        """Vectorized per-metric inference over all collected windows."""
+        from repro.core.pipeline import PipelineEstimate
+
+        if not rows:
+            return []
+        X = np.vstack([features for features, _ in rows])
+        ml_rows = self.pipeline.ml.predict_rows(X, [window_start for _, window_start in rows])
+        return [
+            PipelineEstimate(
+                window_start=row.window_start,
+                frame_rate=row.frame_rate,
+                bitrate_kbps=row.bitrate_kbps,
+                frame_jitter_ms=row.frame_jitter_ms,
+                resolution=row.resolution,
+                source="ml",
+            )
+            for row in ml_rows
+        ]
+
+    def _predict_row(self, features: np.ndarray, window_start: float) -> "PipelineEstimate":
+        """Run the trained per-metric forests on one window's feature vector."""
+        return self._predict_batch([(features, window_start)])[0]

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.net.trace import PacketTrace
+from repro.net.trace import PacketTrace, window_grid
 from repro.webrtc.stats import GroundTruthLog, PerSecondStats
 
 __all__ = ["WindowedTrace", "window_trace", "match_windows_to_ground_truth", "MatchedWindow"]
@@ -54,14 +54,14 @@ def window_trace(trace: PacketTrace, window_s: float = 1.0, start: float = 0.0, 
         raise ValueError("window_s must be positive")
     if end is None:
         end = trace.end_time
-    windows: list[WindowedTrace] = []
-    t = start
-    while t < end:
-        windows.append(
-            WindowedTrace(start=t, duration=window_s, packets=trace.time_slice(t, t + window_s))
-        )
-        t += window_s
-    return windows
+    # The shared drift-free grid: starts are ``start + k * window_s`` (index
+    # multiplication), since repeated ``t += window_s`` accumulates float
+    # error and misaligns windows with the per-second ground-truth grid on
+    # long traces with fractional windows.
+    return [
+        WindowedTrace(start=t, duration=window_s, packets=trace.time_slice(t, next_t))
+        for _, t, next_t in window_grid(start, window_s, end)
+    ]
 
 
 def match_windows_to_ground_truth(

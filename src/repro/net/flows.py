@@ -77,15 +77,23 @@ class FlowStats:
 
 
 class FlowTable:
-    """Group packets of a trace by unidirectional 5-tuple."""
+    """Group packets of a trace by unidirectional 5-tuple.
 
-    def __init__(self) -> None:
+    With ``store_packets=False`` the table keeps only per-flow aggregate
+    statistics and drops the packets themselves; this is the mode the
+    streaming engine uses so its memory stays bounded by the window size
+    rather than the trace length.
+    """
+
+    def __init__(self, store_packets: bool = True) -> None:
+        self.store_packets = store_packets
         self._packets: dict[FlowKey, list[Packet]] = defaultdict(list)
         self._stats: dict[FlowKey, FlowStats] = defaultdict(FlowStats)
 
     def add(self, packet: Packet) -> FlowKey:
         key = five_tuple(packet)
-        self._packets[key].append(packet)
+        if self.store_packets:
+            self._packets[key].append(packet)
         self._stats[key].update(packet)
         return key
 
@@ -96,15 +104,25 @@ class FlowTable:
 
     @property
     def flows(self) -> list[FlowKey]:
-        return list(self._packets)
+        return list(self._stats)
 
     def packets(self, key: FlowKey) -> list[Packet]:
+        if not self.store_packets:
+            raise RuntimeError("this FlowTable does not retain packets (store_packets=False)")
         return list(self._packets.get(key, []))
 
     def stats(self, key: FlowKey) -> FlowStats:
         if key not in self._stats:
             raise KeyError(f"unknown flow: {key}")
         return self._stats[key]
+
+    def remove(self, key: FlowKey) -> None:
+        """Forget a flow entirely (stats and any stored packets).
+
+        Used by long-running monitors when evicting dead flows so table
+        memory tracks *live* flows, not flows ever seen."""
+        self._stats.pop(key, None)
+        self._packets.pop(key, None)
 
     def dominant_flow(self) -> FlowKey | None:
         """The flow carrying the most bytes (the video downlink in a 2-party call)."""
@@ -114,7 +132,7 @@ class FlowTable:
 
     def toward(self, address: str) -> list[FlowKey]:
         """Flows whose destination address is ``address`` (client-bound traffic)."""
-        return [key for key in self._packets if key.dst == address]
+        return [key for key in self._stats if key.dst == address]
 
     def __len__(self) -> int:
-        return len(self._packets)
+        return len(self._stats)

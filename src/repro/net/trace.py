@@ -9,7 +9,7 @@ extraction (Table 1) and the heuristics need.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
@@ -18,7 +18,29 @@ import numpy as np
 
 from repro.net.packet import MediaType, Packet
 
-__all__ = ["PacketTrace", "TraceStats"]
+__all__ = ["PacketTrace", "TraceStats", "window_grid"]
+
+
+def window_grid(start: float, window_s: float, end: float):
+    """Yield ``(k, t, next_t)`` for consecutive windows covering ``[start, end)``.
+
+    The single source of truth for the drift-free window grid: boundaries are
+    computed as ``start + k * window_s`` (index multiplication, no float
+    accumulation) and each window's upper bound *is* the next window's start,
+    so on fractional grids no timestamp can be double-counted or dropped.
+    Every windowing code path (batch slicing, heuristic attribution, the
+    streaming engine's ``window_index``) must agree with this arithmetic to
+    the last ulp.
+    """
+    if window_s <= 0:
+        raise ValueError("window must be positive")
+    k = 0
+    t = start
+    while t < end:
+        next_t = start + (k + 1) * window_s
+        yield k, t, next_t
+        k += 1
+        t = next_t
 
 
 @dataclass(frozen=True)
@@ -52,6 +74,8 @@ class PacketTrace:
     def __init__(self, packets: Iterable[Packet] = (), vca: str | None = None) -> None:
         self._packets: list[Packet] = sorted(packets, key=lambda p: p.timestamp)
         self.vca = vca
+        #: Cached timestamp array for O(log n) slicing; rebuilt after mutation.
+        self._times: np.ndarray | None = None
 
     # -- container protocol --------------------------------------------------
 
@@ -78,6 +102,7 @@ class PacketTrace:
             self._packets.insert(position, packet)
         else:
             self._packets.append(packet)
+        self._times = None
 
     def extend(self, packets: Iterable[Packet]) -> None:
         for packet in packets:
@@ -102,9 +127,17 @@ class PacketTrace:
     def packets(self) -> list[Packet]:
         return list(self._packets)
 
+    def _timestamps_cached(self) -> np.ndarray:
+        """The timestamp array, cached across calls (invalidated on mutation)."""
+        if self._times is None or len(self._times) != len(self._packets):
+            self._times = np.fromiter(
+                (p.timestamp for p in self._packets), dtype=float, count=len(self._packets)
+            )
+        return self._times
+
     @property
     def timestamps(self) -> np.ndarray:
-        return np.array([p.timestamp for p in self._packets], dtype=float)
+        return self._timestamps_cached().copy()
 
     @property
     def sizes(self) -> np.ndarray:
@@ -144,10 +177,14 @@ class PacketTrace:
         return PacketTrace((p.without_ground_truth() for p in self._packets), vca=self.vca)
 
     def time_slice(self, start: float, end: float) -> "PacketTrace":
-        """Packets with ``start <= timestamp < end`` (binary search, O(log n))."""
-        times = [p.timestamp for p in self._packets]
-        lo = bisect_left(times, start)
-        hi = bisect_left(times, end)
+        """Packets with ``start <= timestamp < end`` (binary search, O(log n)).
+
+        The timestamp array is cached on the trace, so repeated slicing (as in
+        windowing) costs O(log n + k) per call rather than O(n).
+        """
+        times = self._timestamps_cached()
+        lo = int(np.searchsorted(times, start, side="left"))
+        hi = int(np.searchsorted(times, end, side="left"))
         return PacketTrace(self._packets[lo:hi], vca=self.vca)
 
     def shifted(self, offset: float) -> "PacketTrace":
@@ -205,10 +242,8 @@ class PacketTrace:
             start = self.start_time
         if end is None:
             end = self.end_time
-        times = [p.timestamp for p in self._packets]
-        t = start
-        while t < end:
-            lo = bisect_left(times, t)
-            hi = bisect_left(times, t + window)
+        times = self._timestamps_cached()
+        for _, t, next_t in window_grid(start, window, end):
+            lo = int(np.searchsorted(times, t, side="left"))
+            hi = int(np.searchsorted(times, next_t, side="left"))
             yield t, PacketTrace(self._packets[lo:hi], vca=self.vca)
-            t += window

@@ -1,0 +1,119 @@
+"""Incremental IP/UDP feature accumulators vs the batch extractor.
+
+The streaming engine computes the 14 Table-1 features with
+:class:`~repro.core.features.IPUDPFeatureAccumulator` (running counters plus a
+per-window buffer for the exact percentile statistics).  These tests assert it
+reproduces :func:`~repro.core.features.extract_ipudp_features` on the same
+window for randomized traces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    IPUDP_FEATURE_NAMES,
+    IPUDPFeatureAccumulator,
+    extract_ipudp_features,
+)
+from repro.core.media import MediaClassifier
+from repro.core.windows import window_trace
+from repro.net.packet import IPv4Header, Packet, UDPHeader
+from repro.net.trace import PacketTrace
+
+
+def make_packet(timestamp, size):
+    return Packet(
+        timestamp=timestamp,
+        ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2"),
+        udp=UDPHeader(src_port=1, dst_port=2),
+        payload_size=size,
+    )
+
+
+def random_trace(rng, n_packets, duration):
+    """Mixed audio/video/keep-alive sizes with bursty random arrivals."""
+    timestamps = np.sort(rng.uniform(0.0, duration, size=n_packets))
+    # Cluster some arrivals below the microburst threshold.
+    timestamps[rng.random(n_packets) < 0.4] *= 0.999
+    timestamps = np.sort(timestamps)
+    sizes = rng.choice(
+        [80, 120, 200, 304, 449, 450, 451, 700, 900, 901, 1100, 1200],
+        size=n_packets,
+    )
+    return PacketTrace([make_packet(float(t), int(s)) for t, s in zip(timestamps, sizes)])
+
+
+class TestAccumulatorMatchesBatchExtractor:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_windows_match(self, seed):
+        rng = np.random.default_rng(seed)
+        trace = random_trace(rng, n_packets=400, duration=8.0)
+        classifier = MediaClassifier()
+        for window in window_trace(trace, window_s=1.0, start=0.0):
+            accumulator = IPUDPFeatureAccumulator(window.duration, classifier=classifier)
+            for packet in window.packets:
+                accumulator.push(packet)
+            expected = extract_ipudp_features(window, classifier=classifier)
+            # Bit-identical, not merely close: a last-ulp difference could
+            # cross a forest split threshold and flip a prediction.
+            np.testing.assert_array_equal(
+                accumulator.features(), expected,
+                err_msg=f"feature mismatch (names: {IPUDP_FEATURE_NAMES})",
+            )
+
+    def test_fractional_window_sizes(self):
+        rng = np.random.default_rng(99)
+        trace = random_trace(rng, n_packets=300, duration=6.0)
+        classifier = MediaClassifier()
+        for window in window_trace(trace, window_s=0.5, start=0.0):
+            accumulator = IPUDPFeatureAccumulator(window.duration, classifier=classifier)
+            for packet in window.packets:
+                accumulator.push(packet)
+            np.testing.assert_array_equal(
+                accumulator.features(),
+                extract_ipudp_features(window, classifier=classifier),
+            )
+
+    def test_empty_window_is_all_zeros(self):
+        accumulator = IPUDPFeatureAccumulator(1.0)
+        np.testing.assert_array_equal(accumulator.features(), np.zeros(14))
+
+    def test_single_video_packet(self):
+        accumulator = IPUDPFeatureAccumulator(1.0)
+        assert accumulator.push(make_packet(0.25, 1000))
+        features = accumulator.features()
+        window = window_trace(PacketTrace([make_packet(0.25, 1000)]), 1.0, start=0.0, end=1.0)[0]
+        np.testing.assert_allclose(features, extract_ipudp_features(window))
+        assert features[IPUDP_FEATURE_NAMES.index("# microbursts")] == 1.0
+
+    def test_non_video_packets_ignored(self):
+        accumulator = IPUDPFeatureAccumulator(1.0)
+        assert not accumulator.push(make_packet(0.1, 120))   # audio-sized
+        assert not accumulator.push(make_packet(0.2, 304))   # keep-alive
+        np.testing.assert_array_equal(accumulator.features(), np.zeros(14))
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            IPUDPFeatureAccumulator(0.0)
+
+
+class TestLiveCounters:
+    def test_mid_window_introspection_counters(self):
+        """The running counters are the monitor-facing partial-window view and
+        must agree with the buffers they summarize at any point mid-window."""
+        rng = np.random.default_rng(3)
+        trace = random_trace(rng, n_packets=200, duration=2.0)
+        classifier = MediaClassifier()
+        accumulator = IPUDPFeatureAccumulator(2.0, classifier=classifier)
+        video_sizes = []
+        for packet in trace:
+            counted = accumulator.push(packet)
+            assert counted == classifier.is_video(packet)
+            if counted:
+                video_sizes.append(float(packet.payload_size))
+            if video_sizes:
+                assert accumulator.n == len(video_sizes)
+                assert accumulator.byte_sum == sum(video_sizes)
+                assert accumulator.size_min == min(video_sizes)
+                assert accumulator.size_max == max(video_sizes)
+                assert accumulator.microbursts >= 1

@@ -106,3 +106,64 @@ class TestWindowing:
     def test_invalid_window(self, teams_call):
         with pytest.raises(ValueError):
             match_windows_to_ground_truth(teams_call.trace, teams_call.ground_truth, window_s=0)
+
+
+class TestWindowDriftRegression:
+    """``window_trace`` must not accumulate float error over long traces.
+
+    The seed implementation advanced the window start with repeated
+    ``t += window_s``; with a fractional window the accumulated round-off
+    misaligns late windows with the ground-truth grid.  Starts must be exactly
+    ``start + k * window_s``.
+    """
+
+    def test_long_trace_fractional_window_starts_exact(self):
+        duration = 3600.0
+        window_s = 0.1
+        trace = PacketTrace([make_packet(0.05, 100), make_packet(duration - 0.05, 100)])
+        windows = window_trace(trace, window_s=window_s, start=0.0)
+        assert len(windows) == 36000
+        # Exact float equality against index multiplication, including the
+        # very last window where repeated addition drifts by ~1e-10.
+        for k in (0, 1, 9999, 23456, 35999):
+            assert windows[k].start == k * window_s
+
+        drifted = 0.0
+        for _ in range(36000):
+            drifted += window_s
+        assert drifted != 36000 * window_s, "sanity: repeated addition does drift"
+
+    def test_fractional_window_assigns_boundary_packets_consistently(self):
+        window_s = 0.2
+        # Timestamps that land exactly on (float-imprecise) window boundaries.
+        trace = PacketTrace([make_packet(k * window_s, 100) for k in range(50)])
+        windows = window_trace(trace, window_s=window_s, start=0.0)
+        assert sum(len(w) for w in windows) == 50 - 1  # last packet defines end
+        for window in windows:
+            for packet in window.packets:
+                assert window.start <= packet.timestamp < window.start + window_s + 1e-12
+
+    def test_iter_windows_matches_window_trace_grid(self):
+        trace = PacketTrace([make_packet(0.05, 100), make_packet(599.95, 100)])
+        starts = [t for t, _ in trace.iter_windows(0.3, start=0.0, end=600.0)]
+        assert starts == [k * 0.3 for k in range(len(starts))]
+
+    def test_boundary_frames_counted_exactly_once_on_fractional_grid(self):
+        """A packet/frame ending exactly on a fractional window boundary must
+        land in exactly one window, both in iter_windows and the heuristics."""
+        from repro.core.frame_assembly import AssembledFrame
+        from repro.core.heuristic import estimates_from_frames
+
+        window_s = 0.3
+        boundary = 6 * window_s  # 1.7999999999999998 != 1.5 + 0.3
+        trace = PacketTrace([make_packet(t, 100) for t in (0.1, boundary, 2.5)])
+        attributions = sum(len(w) for _, w in trace.iter_windows(window_s, start=0.0, end=3.0))
+        assert attributions == 3, "each packet in exactly one window"
+
+        frame = AssembledFrame(frame_index=0, packets=[make_packet(boundary, 1000)])
+        counted = 0
+        for k in range(12):
+            t = k * window_s
+            est = estimates_from_frames([frame], t, window_s, window_end=(k + 1) * window_s)
+            counted += est.n_frames
+        assert counted == 1, "boundary frame attributed to exactly one window"
