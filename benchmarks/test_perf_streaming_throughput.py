@@ -18,6 +18,7 @@ acceptance bar is a >= 3x packets/sec speedup.
 from __future__ import annotations
 
 import json
+import os
 from bisect import bisect_left
 
 import numpy as np
@@ -30,8 +31,15 @@ from repro.core.streaming import StreamingQoEPipeline
 from repro.net.packet import IPv4Header, Packet, UDPHeader
 from repro.net.trace import PacketTrace
 
-TRACE_DURATION_S = 300.0  # the 5-minute operator trace
-SPEEDUP_FLOOR = 3.0
+#: The 5-minute operator trace.  CI's smoke invocation shrinks it via
+#: BENCH_SMOKE_DURATION_S; the seed path's O(n * windows) penalty grows with
+#: duration, so the smoke run only asserts the stream is not *slower* and
+#: writes a separate artifact (the tracked BENCH_streaming.json stays a
+#: full-length measurement).
+_SMOKE = "BENCH_SMOKE_DURATION_S" in os.environ
+TRACE_DURATION_S = float(os.environ.get("BENCH_SMOKE_DURATION_S", 300.0))
+SPEEDUP_FLOOR = 1.0 if _SMOKE else 3.0
+_ARTIFACT_NAME = "BENCH_streaming_smoke" if _SMOKE else "BENCH_streaming"
 
 #: Shared between the two benchmark tests and the assertion test (the file's
 #: tests run in definition order).
@@ -146,12 +154,12 @@ def test_streaming_speedup_and_artifact(multiflow_trace):
         "speedup_floor": SPEEDUP_FLOOR,
     }
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / "BENCH_streaming.json").write_text(json.dumps(payload, indent=2) + "\n")
+    (RESULTS_DIR / f"{_ARTIFACT_NAME}.json").write_text(json.dumps(payload, indent=2) + "\n")
     save_artifact(
-        "BENCH_streaming",
+        _ARTIFACT_NAME,
         "\n".join(
             [
-                "Streaming vs seed-batch throughput (5-minute, 2-flow synthetic trace)",
+                f"Streaming vs seed-batch throughput ({TRACE_DURATION_S:.0f}s, 2-flow synthetic trace)",
                 f"  packets:            {n_packets}",
                 f"  seed batch:         {batch_pps:12.0f} packets/s",
                 f"  streaming engine:   {streaming_pps:12.0f} packets/s",

@@ -1,34 +1,51 @@
-"""Operator workflow: train in the lab, monitor pcaps in production.
+"""Operator workflow: train in the lab, save the model, deploy monitors.
 
-This mirrors how a network operator would deploy the paper's system:
+This mirrors how a network operator would deploy the paper's system with the
+composable Source -> Engine -> Sink API:
 
 1. collect labelled calls in a controlled lab (traces + webrtc-internals logs);
-2. train one model per VCA;
-3. in production, feed raw pcap captures of customer VCA sessions (IP/UDP
-   headers only -- RTP is stripped) and flag seconds with degraded QoE.
+2. train one model per VCA and **save it to disk** (versioned JSON);
+3. at every production site, ``QoEMonitor.from_model`` loads the model --
+   no retraining, bit-identical predictions -- points it at a pcap capture
+   (IP/UDP headers only, RTP stripped) and streams per-second estimates into
+   sinks: a JSONL file for offline analysis plus a rolling per-flow summary
+   for alerting.
 
 Run with:  python examples/operator_monitoring.py
 """
 
 from __future__ import annotations
 
+import json
 import tempfile
 from pathlib import Path
 
 from repro import (
     ConditionSchedule,
+    JSONLinesSink,
+    LabDatasetConfig,
     NetworkCondition,
     PacketTrace,
+    PcapSource,
+    QoEMonitor,
     QoEPipeline,
     SessionConfig,
-    StreamingQoEPipeline,
+    SummarySink,
     build_lab_dataset,
-    LabDatasetConfig,
     simulate_call,
 )
 
 FPS_ALERT_THRESHOLD = 18.0
 BITRATE_ALERT_THRESHOLD_KBPS = 450.0
+
+
+def is_degraded_values(frame_rate: float, bitrate_kbps: float) -> bool:
+    """Operator alert rule: low frame rate *or* starved bitrate."""
+    return frame_rate < FPS_ALERT_THRESHOLD or bitrate_kbps < BITRATE_ALERT_THRESHOLD_KBPS
+
+
+def is_degraded(estimate) -> bool:
+    return is_degraded_values(estimate.frame_rate, estimate.bitrate_kbps)
 
 
 def capture_customer_session(directory: Path) -> Path:
@@ -52,43 +69,52 @@ def capture_customer_session(directory: Path) -> Path:
 
 
 def main() -> None:
-    print("Training the Webex model on lab data ...")
-    lab = build_lab_dataset(LabDatasetConfig(calls_per_vca=4, call_duration_s=20, vcas=("webex",), seed=3))
-    pipeline = QoEPipeline.for_vca("webex").train(lab["webex"])
-
     with tempfile.TemporaryDirectory() as tmp:
-        pcap_path = capture_customer_session(Path(tmp))
-        print(f"Estimating QoE from {pcap_path.name} (IP/UDP headers only) ...\n")
+        workdir = Path(tmp)
 
-        # Feed the capture through the trained pipeline's streaming engine:
-        # packets go in one at a time, per-second estimates come out as each
-        # window closes -- the same loop a live deployment would run.
-        monitor = StreamingQoEPipeline(pipeline, demux_flows=False)
-        trace = PacketTrace.from_pcap(pcap_path, vca="webex")
+        # -- lab: train once, persist the model --------------------------------
+        print("Training the Webex model on lab data ...")
+        lab = build_lab_dataset(
+            LabDatasetConfig(calls_per_vca=4, call_duration_s=20, vcas=("webex",), seed=3)
+        )
+        pipeline = QoEPipeline.for_vca("webex").train(lab["webex"])
+        model_path = pipeline.save(workdir / "webex.model.json")
+        print(f"Saved trained pipeline to {model_path.name} "
+              f"({model_path.stat().st_size // 1024} KiB)\n")
 
-        alerts = 0
-        n_estimates = 0
+        # -- production: load + monitor (no retraining, no lab data) -----------
+        pcap_path = capture_customer_session(workdir)
+        estimates_path = workdir / "estimates.jsonl"
+        summary = SummarySink(degraded_when=is_degraded)
 
-        def report(estimate) -> None:
-            nonlocal alerts, n_estimates
-            degraded = (
-                estimate.frame_rate < FPS_ALERT_THRESHOLD
-                or estimate.bitrate_kbps < BITRATE_ALERT_THRESHOLD_KBPS
-            )
-            flag = "  <-- degraded QoE" if degraded else ""
-            alerts += int(degraded)
-            n_estimates += 1
+        monitor = QoEMonitor.from_model(
+            model_path,
+            source=PcapSource(pcap_path),
+            sinks=[JSONLinesSink(estimates_path), summary],
+        )
+        print(f"Monitoring {pcap_path.name} with the saved model (IP/UDP headers only) ...")
+        report = monitor.run()
+        print(f"Processed {report.n_packets} packets -> {report.n_estimates} "
+              f"per-second estimates across {report.n_flows} flow(s).\n")
+
+        # -- what the sinks saw -------------------------------------------------
+        for line in estimates_path.read_text().splitlines():
+            row = json.loads(line)
+            flagged = is_degraded_values(row["frame_rate"], row["bitrate_kbps"])
+            flag = "  <-- degraded QoE" if flagged else ""
             print(
-                f"t={int(estimate.window_start):>3}s  fps={estimate.frame_rate:5.1f}  "
-                f"bitrate={estimate.bitrate_kbps:7.0f} kbps  jitter={estimate.frame_jitter_ms:5.1f} ms{flag}"
+                f"t={int(row['window_start']):>3}s  fps={row['frame_rate']:5.1f}  "
+                f"bitrate={row['bitrate_kbps']:7.0f} kbps  "
+                f"jitter={row['frame_jitter_ms']:5.1f} ms  res={row['resolution']}{flag}"
             )
 
-        for emitted in monitor.process(trace):
-            report(emitted.estimate)
-        for emitted in monitor.flush():
-            report(emitted.estimate)  # the final window(s) held at end of capture
-
-        print(f"\n{alerts} of {n_estimates} seconds flagged as degraded.")
+        for stats in summary.summary().values():
+            print(
+                f"\n{stats.degraded_windows} of {stats.windows} seconds flagged as degraded "
+                f"({100 * stats.degraded_fraction:.0f}%); "
+                f"mean fps {stats.mean_frame_rate:.1f}, "
+                f"mean bitrate {stats.mean_bitrate_kbps:.0f} kbps."
+            )
         print("Flags should cluster inside the congestion window injected between t=8s and t=16s.")
 
 

@@ -4,34 +4,42 @@ Where ``operator_monitoring.py`` trains a model and scores a finished pcap,
 this example shows the deployment mode the paper actually targets: a passive
 monitor in the middle of the network seeing the *interleaved* packets of
 several concurrent VCA sessions, one at a time, with no ability to buffer the
-capture.  :class:`repro.StreamingQoEPipeline` demultiplexes the packets by
-5-tuple and emits a per-second estimate for each flow the moment the second
-can no longer change -- memory stays bounded by the window size no matter how
-long the calls last.
+capture.  The composable API maps onto that directly:
+
+* two capture points become one arrival-ordered feed via
+  :class:`repro.MergedSource` (streaming k-way timestamp merge, O(k) memory);
+* :class:`repro.QoEMonitor` runs the per-flow streaming engine over the feed,
+  emitting a per-second estimate for each flow the moment the second can no
+  longer change -- memory stays bounded by the window size no matter how
+  long the calls last;
+* sinks are pluggable: a three-line custom alert sink (anything with
+  ``emit``/``close`` works) rides alongside the built-in
+  :class:`repro.MetricsSnapshotSink` scrape counters.
 
 Run with:  python examples/streaming_monitor.py
 """
 
 from __future__ import annotations
 
-import heapq
-
 from repro import (
     ConditionSchedule,
+    MergedSource,
+    MetricsSnapshotSink,
     NetworkCondition,
+    QoEMonitor,
+    QoEPipeline,
     SessionConfig,
-    StreamingQoEPipeline,
     simulate_call,
 )
 
 FPS_ALERT_THRESHOLD = 18.0
 
 
-def live_packet_feed():
-    """Two concurrent Teams sessions, merged into one arrival-ordered feed.
+def capture_points():
+    """Two capture interfaces, one concurrent Teams session on each.
 
     Session A runs over a healthy link; session B hits congestion mid-call.
-    (A real deployment would read packets from a capture interface instead.)
+    (A real deployment would wrap live capture generators instead.)
     """
     healthy = ConditionSchedule.constant(
         NetworkCondition(throughput_kbps=2500.0, delay_ms=35.0, jitter_ms=4.0), 20
@@ -57,41 +65,65 @@ def live_packet_feed():
     )
     packets_a = (p.without_rtp().without_ground_truth() for p in session_a.trace)
     packets_b = (p.without_rtp().without_ground_truth() for p in session_b.trace)
-    # Merge the two captures into one interleaved arrival stream.
-    return heapq.merge(packets_a, packets_b, key=lambda p: p.timestamp)
+    return packets_a, packets_b
+
+
+class LivePrinterSink:
+    """A custom sink: print each estimate as its window closes, flag low fps."""
+
+    def __init__(self) -> None:
+        self.flow_names: dict = {}
+
+    def emit(self, item) -> None:
+        name = self.flow_names.setdefault(item.flow, f"flow-{len(self.flow_names) + 1}")
+        estimate = item.estimate
+        flag = "  <-- degraded" if estimate.frame_rate < FPS_ALERT_THRESHOLD else ""
+        print(
+            f"[{name}] t={int(estimate.window_start):>3}s  "
+            f"fps={estimate.frame_rate:5.1f}  "
+            f"bitrate={estimate.bitrate_kbps:7.0f} kbps  "
+            f"jitter={estimate.frame_jitter_ms:5.1f} ms{flag}"
+        )
+
+    def close(self) -> None:
+        print("\nEnd of capture (final open windows flushed above).")
 
 
 def main() -> None:
     # Heuristic mode, no training.  max_frame_age_s bounds estimate latency:
     # if a session's video stalls entirely, its windows still close (flagging
     # the outage live) instead of waiting for the next video packet.
-    monitor = StreamingQoEPipeline.for_vca("teams", max_frame_age_s=2.0)
-    flow_names: dict = {}
+    # idle_timeout_s evicts flows that go quiet, so a perpetual monitor's
+    # memory tracks live flows only.
+    pipeline = QoEPipeline.for_vca("teams")
+    config = pipeline.config.replace(max_frame_age_s=2.0, idle_timeout_s=30.0)
 
-    print("Monitoring live feed (two interleaved sessions, one pass, O(window) memory)\n")
-    for packet in live_packet_feed():
-        # One packet in; zero or more closed per-flow windows out.
-        for emitted in monitor.push(packet):
-            name = flow_names.setdefault(emitted.flow, f"flow-{len(flow_names) + 1}")
-            estimate = emitted.estimate
-            flag = "  <-- degraded" if estimate.frame_rate < FPS_ALERT_THRESHOLD else ""
-            print(
-                f"[{name}] t={int(estimate.window_start):>3}s  "
-                f"fps={estimate.frame_rate:5.1f}  "
-                f"bitrate={estimate.bitrate_kbps:7.0f} kbps  "
-                f"jitter={estimate.frame_jitter_ms:5.1f} ms{flag}"
-            )
+    feed_a, feed_b = capture_points()
+    printer = LivePrinterSink()
+    metrics = MetricsSnapshotSink(degraded_fps_threshold=FPS_ALERT_THRESHOLD)
 
-    print("\nEnd of capture; flushing the final open windows ...")
-    for emitted in monitor.flush():
-        name = flow_names.setdefault(emitted.flow, f"flow-{len(flow_names) + 1}")
-        estimate = emitted.estimate
-        print(f"[{name}] t={int(estimate.window_start):>3}s  fps={estimate.frame_rate:5.1f}  (flush)")
+    monitor = QoEMonitor(
+        pipeline,
+        source=MergedSource(feed_a, feed_b),
+        sinks=[printer, metrics],
+        config=config,
+    )
 
-    print(f"\nTracked {len(monitor.flows)} flows; reorder buffers now hold "
-          f"{monitor.buffered_packets} packets, {monitor.open_windows} windows open.")
+    print("Monitoring live feed (two capture points, one pass, O(window) memory)\n")
+    report = monitor.run()
+
+    engine = monitor.engine
+    assert engine is not None
+    print(f"Tracked {report.n_flows} flows over {report.n_packets} packets; "
+          f"reorder buffers now hold {engine.buffered_packets} packets, "
+          f"{engine.open_windows} windows open.")
+    print("Scrape counters:", monitor_snapshot_line(metrics))
     print("The congested session's alerts should cluster inside t=7s..14s; "
           "the healthy session should stay clean throughout.")
+
+
+def monitor_snapshot_line(metrics: MetricsSnapshotSink) -> str:
+    return "  ".join(f"{name}={value:g}" for name, value in metrics.snapshot().items())
 
 
 if __name__ == "__main__":

@@ -10,18 +10,53 @@ the package also contains a full WebRTC traffic simulator, network emulator
 and dataset builders that reproduce the relevant transport-level behaviour;
 see DESIGN.md for the substitution rationale.
 
-Quickstart::
+Quickstart (train once, deploy many)::
 
-    from repro import QoEPipeline, build_lab_dataset, LabDatasetConfig
+    from repro import (
+        QoEPipeline, QoEMonitor, PcapSource, JSONLinesSink, SummarySink,
+        build_lab_dataset, LabDatasetConfig,
+    )
 
     lab = build_lab_dataset(LabDatasetConfig(calls_per_vca=4))
     pipeline = QoEPipeline.for_vca("teams").train(lab["teams"])
-    estimates = pipeline.estimate(lab["teams"][0].trace)
+    pipeline.save("teams.model.json")
+
+    monitor = QoEMonitor.from_model(
+        "teams.model.json",
+        source=PcapSource("capture.pcap"),
+        sinks=[JSONLinesSink("estimates.jsonl"), SummarySink(degraded_fps_threshold=18)],
+    )
+    report = monitor.run()
+
+The public API is composable Source -> Engine -> Sink: packet providers live
+in :mod:`repro.sources`, estimate consumers in :mod:`repro.sinks`, behaviour
+knobs in the frozen :class:`~repro.core.config.PipelineConfig`, and
+:class:`~repro.monitor.QoEMonitor` wires one of each around the streaming
+engine.
 """
 
+from repro.core.config import PipelineConfig
 from repro.core.pipeline import PipelineEstimate, QoEPipeline
 from repro.core.streaming import StreamEstimate, StreamingQoEPipeline
 from repro.core.estimators import IPUDPMLEstimator, RTPMLEstimator
+from repro.monitor import MonitorReport, QoEMonitor
+from repro.sources import (
+    IteratorSource,
+    MergedSource,
+    PacketSource,
+    PcapSource,
+    TraceSource,
+    as_source,
+)
+from repro.sinks import (
+    CollectorSink,
+    CSVSink,
+    EstimateSink,
+    FlowSummary,
+    JSONLinesSink,
+    MetricsSnapshotSink,
+    SummarySink,
+)
 from repro.core.heuristic import IPUDPHeuristic
 from repro.core.rtp_heuristic import RTPHeuristic
 from repro.core.media import MediaClassifier
@@ -38,8 +73,24 @@ __version__ = "1.0.0"
 __all__ = [
     "QoEPipeline",
     "PipelineEstimate",
+    "PipelineConfig",
     "StreamingQoEPipeline",
     "StreamEstimate",
+    "QoEMonitor",
+    "MonitorReport",
+    "PacketSource",
+    "IteratorSource",
+    "TraceSource",
+    "PcapSource",
+    "MergedSource",
+    "as_source",
+    "EstimateSink",
+    "CollectorSink",
+    "JSONLinesSink",
+    "CSVSink",
+    "SummarySink",
+    "FlowSummary",
+    "MetricsSnapshotSink",
     "IPUDPMLEstimator",
     "RTPMLEstimator",
     "IPUDPHeuristic",

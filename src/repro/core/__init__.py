@@ -21,6 +21,7 @@ resolution binning (:mod:`repro.core.resolution`), the evaluation protocol
 (:mod:`repro.core.streaming`).
 """
 
+from repro.core.config import PipelineConfig
 from repro.core.estimators import IPUDPMLEstimator, RTPMLEstimator
 from repro.core.features import (
     IPUDP_FEATURE_NAMES,
@@ -63,6 +64,7 @@ __all__ = [
     "TEAMS_RESOLUTION_BINS",
     "QoEPipeline",
     "PipelineEstimate",
+    "PipelineConfig",
     "StreamingQoEPipeline",
     "StreamEstimate",
 ]

@@ -1,0 +1,122 @@
+"""Frozen pipeline configuration shared by every execution layer.
+
+Before this module existed, the windowing/lookback/backfill/eviction/liveness
+knobs were ~10 scattered constructor kwargs duplicated across
+:class:`~repro.core.pipeline.QoEPipeline`,
+:class:`~repro.core.streaming.StreamingQoEPipeline` and its per-flow streams,
+with validation happening (or silently not happening) deep inside the
+windowing arithmetic.  :class:`PipelineConfig` is the single, immutable,
+validated description of how an estimation deployment behaves; both pipelines
+and the :class:`~repro.monitor.QoEMonitor` facade are built on top of it, and
+it round-trips through the saved-model format so a deployment can be
+reconstructed exactly from disk.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, replace
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Immutable configuration of a QoE estimation pipeline.
+
+    Parameters
+    ----------
+    window_s:
+        Length of the estimation window in seconds (must be positive;
+        fractional windows are supported by the drift-free grid).
+    start:
+        Time origin of the windowing grid (seconds).
+    delta_size:
+        Frame-assembly size threshold in bytes (Algorithm 1).  ``None`` uses
+        the VCA profile's paper-reported value.
+    lookback:
+        Frame-assembly lookback ``N_max`` (Algorithm 1).  ``None`` uses the
+        VCA profile's paper-reported value.
+    reorder_depth:
+        Per-flow reorder buffer size in packets.  ``None`` defaults to the
+        effective assembler lookback.
+    max_frame_age_s:
+        Liveness bound: open frames whose last packet lags the stream by more
+        than this many seconds are force-finalized so windows keep closing
+        during a total video stall.  ``None`` (default) preserves exact batch
+        equivalence.
+    backfill_limit:
+        Maximum number of empty windows emitted before a flow's first packet.
+        ``0`` (default) starts each flow at its first packet's window;
+        ``None`` means unlimited (the batch contract: windows from
+        ``start``).
+    idle_timeout_s:
+        Evict flows with no packets for this many seconds (stream time).
+        Used by :class:`~repro.monitor.QoEMonitor` to bound state on
+        perpetual monitors; ``None`` disables eviction.
+    demux_flows:
+        When true, packets are demultiplexed by unidirectional 5-tuple and
+        each flow gets an independent estimation stream; when false, all
+        packets are treated as one pre-isolated session.
+    """
+
+    window_s: float = 1.0
+    start: float = 0.0
+    delta_size: float | None = None
+    lookback: int | None = None
+    reorder_depth: int | None = None
+    max_frame_age_s: float | None = None
+    backfill_limit: int | None = 0
+    idle_timeout_s: float | None = None
+    demux_flows: bool = True
+
+    def __post_init__(self) -> None:
+        if not (self.window_s > 0) or not math.isfinite(self.window_s):
+            raise ValueError(f"window_s must be a positive number, got {self.window_s!r}")
+        if not math.isfinite(self.start):
+            raise ValueError(f"start must be finite, got {self.start!r}")
+        if self.delta_size is not None and self.delta_size < 0:
+            raise ValueError(f"delta_size must be >= 0, got {self.delta_size!r}")
+        if self.lookback is not None and self.lookback < 1:
+            raise ValueError(
+                f"lookback must be a positive packet count (>= 1), got {self.lookback!r}"
+            )
+        if self.reorder_depth is not None and self.reorder_depth < 0:
+            raise ValueError(f"reorder_depth must be >= 0, got {self.reorder_depth!r}")
+        if self.max_frame_age_s is not None and not (self.max_frame_age_s > 0):
+            raise ValueError(f"max_frame_age_s must be positive, got {self.max_frame_age_s!r}")
+        if self.backfill_limit is not None and self.backfill_limit < 0:
+            raise ValueError(f"backfill_limit must be >= 0 (or None), got {self.backfill_limit!r}")
+        if self.idle_timeout_s is not None and not (self.idle_timeout_s > 0):
+            raise ValueError(f"idle_timeout_s must be positive, got {self.idle_timeout_s!r}")
+        if self.idle_timeout_s is not None and self.idle_timeout_s < self.window_s:
+            # Evicting faster than windows close could flush a flow mid-window
+            # and re-admit it inside the same window, double-emitting it.
+            raise ValueError(
+                f"idle_timeout_s ({self.idle_timeout_s!r}) must be >= window_s "
+                f"({self.window_s!r}): evicting mid-window would emit a window twice"
+            )
+
+    # -- derivation ------------------------------------------------------------
+
+    def replace(self, **changes) -> "PipelineConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    def resolve_assembly(self, profile) -> tuple[float, int]:
+        """Effective ``(delta_size, lookback)``: explicit values, else the
+        paper-reported parameters of ``profile``."""
+        delta = self.delta_size if self.delta_size is not None else profile.heuristic_size_threshold
+        lookback = self.lookback if self.lookback is not None else profile.heuristic_lookback
+        return float(delta), int(lookback)
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by the saved-model format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineConfig":
+        """Inverse of :meth:`to_dict` (unknown keys rejected by construction)."""
+        return cls(**data)

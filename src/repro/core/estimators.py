@@ -11,7 +11,9 @@ can treat all four methods (two heuristics, two ML models) uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -22,9 +24,10 @@ from repro.core.features import (
     extract_rtp_features,
 )
 from repro.core.media import MediaClassifier
-from repro.core.resolution import ResolutionBinner
+from repro.core.resolution import ResolutionBin, ResolutionBinner
 from repro.core.windows import WindowedTrace
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.net.media import MediaType
 from repro.rtp.payload_types import PayloadTypeMap
 from repro.webrtc.profiles import VCAProfile
 
@@ -35,7 +38,13 @@ __all__ = [
     "BaseMLEstimator",
     "IPUDPMLEstimator",
     "RTPMLEstimator",
+    "ESTIMATOR_FORMAT",
+    "ESTIMATOR_FORMAT_VERSION",
 ]
+
+#: Identifier and schema version of the on-disk estimator format.
+ESTIMATOR_FORMAT = "repro-qoe-estimator"
+ESTIMATOR_FORMAT_VERSION = 1
 
 #: The three regression targets.
 REGRESSION_METRICS: tuple[str, ...] = ("frame_rate", "bitrate", "frame_jitter")
@@ -206,6 +215,96 @@ class BaseMLEstimator:
         X = self.feature_matrix(windows)
         return self.predict_rows(X, [window.start for window in windows])
 
+    # -- persistence --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Versioned, JSON-serializable snapshot of the trained estimator.
+
+        Includes every per-metric forest, the feature schema (ordered feature
+        names), forest hyper-parameters, the resolution binner, and
+        subclass-specific configuration (:meth:`_extra_state`).  Floats
+        round-trip bit-identically through JSON, so
+        ``from_dict(to_dict())`` predicts exactly what the original does.
+        """
+        bins = self.resolution_binner.bins
+        return {
+            "format": ESTIMATOR_FORMAT,
+            "version": ESTIMATOR_FORMAT_VERSION,
+            "estimator": type(self).__name__,
+            "feature_names": list(self.feature_names),
+            "params": asdict(self.params),
+            "resolution_bins": (
+                None if bins is None else [[b.label, b.lower, b.upper] for b in bins]
+            ),
+            "regressors": {metric: forest.to_dict() for metric, forest in self.regressors_.items()},
+            "classifier": self.classifier_.to_dict() if self.classifier_ is not None else None,
+            "extra": self._extra_state(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BaseMLEstimator":
+        """Inverse of :meth:`to_dict`.
+
+        Call on :class:`BaseMLEstimator` to dispatch on the serialized
+        estimator name, or on a concrete subclass to additionally enforce the
+        type.
+        """
+        if data.get("format") != ESTIMATOR_FORMAT:
+            raise ValueError(f"not a serialized QoE estimator (format {data.get('format')!r})")
+        if data.get("version") != ESTIMATOR_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported estimator format version {data.get('version')!r} "
+                f"(this build reads version {ESTIMATOR_FORMAT_VERSION})"
+            )
+        name = data.get("estimator")
+        target = cls._resolve_estimator_class(name)
+        if cls is not BaseMLEstimator and target is not cls:
+            raise ValueError(f"serialized estimator is a {name}, expected {cls.__name__}")
+        if list(data["feature_names"]) != list(target.feature_names):
+            raise ValueError(
+                f"feature schema mismatch: model was trained on {data['feature_names']}, "
+                f"this build extracts {list(target.feature_names)}"
+            )
+        bins = data["resolution_bins"]
+        binner = ResolutionBinner(
+            None if bins is None else tuple(ResolutionBin(label, lower, upper) for label, lower, upper in bins)
+        )
+        estimator = target._construct(data["extra"], resolution_binner=binner, **data["params"])
+        estimator.regressors_ = {
+            metric: RandomForestRegressor.from_dict(forest)
+            for metric, forest in data["regressors"].items()
+        }
+        if data["classifier"] is not None:
+            estimator.classifier_ = RandomForestClassifier.from_dict(data["classifier"])
+        return estimator
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the trained estimator to ``path`` as versioned JSON."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict()))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BaseMLEstimator":
+        """Reconstruct an estimator saved with :meth:`save` (bit-identical predictions)."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    @staticmethod
+    def _resolve_estimator_class(name: str) -> "type[BaseMLEstimator]":
+        known = {sub.__name__: sub for sub in BaseMLEstimator.__subclasses__()}
+        if name not in known:
+            raise ValueError(f"unknown serialized estimator type {name!r} (known: {sorted(known)})")
+        return known[name]
+
+    def _extra_state(self) -> dict:
+        """Subclass-specific serialized configuration (hook)."""
+        return {}
+
+    @classmethod
+    def _construct(cls, extra: dict, **kwargs) -> "BaseMLEstimator":
+        """Build an unfitted instance from :meth:`_extra_state` output (hook)."""
+        return cls(**kwargs)
+
     # -- interpretation -----------------------------------------------------------
 
     def feature_importances(self, metric: str) -> dict[str, float]:
@@ -248,6 +347,18 @@ class IPUDPMLEstimator(BaseMLEstimator):
     def features_for_window(self, window: WindowedTrace) -> np.ndarray:
         return extract_ipudp_features(window, classifier=self.media_classifier)
 
+    def _extra_state(self) -> dict:
+        return {
+            "media_classifier": {
+                "video_size_threshold": self.media_classifier.video_size_threshold,
+                "keepalive_size": self.media_classifier.keepalive_size,
+            }
+        }
+
+    @classmethod
+    def _construct(cls, extra: dict, **kwargs) -> "IPUDPMLEstimator":
+        return cls(classifier=MediaClassifier(**extra["media_classifier"]), **kwargs)
+
 
 class RTPMLEstimator(BaseMLEstimator):
     """Random forests over RTP-header features plus flow statistics."""
@@ -270,3 +381,25 @@ class RTPMLEstimator(BaseMLEstimator):
 
     def features_for_window(self, window: WindowedTrace) -> np.ndarray:
         return extract_rtp_features(window, self.payload_types)
+
+    def _extra_state(self) -> dict:
+        pt = self.payload_types
+        return {
+            "payload_types": {
+                "audio": pt.audio,
+                "video": pt.video,
+                "video_rtx": pt.video_rtx,
+                "extra": {str(number): media.name for number, media in pt.extra.items()},
+            }
+        }
+
+    @classmethod
+    def _construct(cls, extra: dict, **kwargs) -> "RTPMLEstimator":
+        spec = extra["payload_types"]
+        payload_types = PayloadTypeMap(
+            audio=spec["audio"],
+            video=spec["video"],
+            video_rtx=spec["video_rtx"],
+            extra={int(number): MediaType[name] for number, name in spec["extra"].items()},
+        )
+        return cls(payload_types=payload_types, **kwargs)

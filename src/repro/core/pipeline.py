@@ -19,23 +19,36 @@ the batch and streaming code paths share one implementation and cannot
 diverge.  Training, which inherently needs the labelled lab traces aligned
 with per-second ground truth, remains a batch operation over
 :func:`~repro.core.windows.match_windows_to_ground_truth`.
+
+All behavioural knobs live in a frozen, validated
+:class:`~repro.core.config.PipelineConfig`; a trained pipeline can be
+persisted with :meth:`save` and reconstructed bit-identically with
+:meth:`load` (train once in the lab, deploy many times -- see
+:class:`~repro.monitor.QoEMonitor`).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.config import PipelineConfig
 from repro.core.estimators import IPUDPMLEstimator, REGRESSION_METRICS
 from repro.core.heuristic import IPUDPHeuristic
+from repro.core.media import MediaClassifier
 from repro.core.windows import match_windows_to_ground_truth
 from repro.net.trace import PacketTrace
 from repro.webrtc.profiles import VCAProfile, get_profile
 from repro.webrtc.session import CallResult
 
-__all__ = ["PipelineEstimate", "QoEPipeline"]
+__all__ = ["PipelineEstimate", "QoEPipeline", "PIPELINE_FORMAT", "PIPELINE_FORMAT_VERSION"]
+
+#: Identifier and schema version of the on-disk pipeline format.
+PIPELINE_FORMAT = "repro-qoe-pipeline"
+PIPELINE_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -58,23 +71,46 @@ class QoEPipeline:
         pipeline = QoEPipeline.for_vca("teams")
         pipeline.train(calls)                # calls: list[CallResult] (lab data)
         estimates = pipeline.estimate(trace) # trace: PacketTrace or pcap path
+        pipeline.save("teams-qoe.model.json")
 
     Without training, the pipeline falls back to the IP/UDP heuristic for
     frame rate, bitrate and frame jitter and reports no resolution estimate.
+
+    Construction takes either a :class:`~repro.core.config.PipelineConfig`
+    (the canonical form) or the legacy ``window_s`` kwarg, which overrides
+    the config's window length.
     """
 
-    def __init__(self, profile: VCAProfile, window_s: int = 1) -> None:
-        if window_s < 1:
-            raise ValueError("window_s must be >= 1")
+    def __init__(
+        self,
+        profile: VCAProfile,
+        window_s: float | None = None,
+        config: PipelineConfig | None = None,
+    ) -> None:
+        if config is None:
+            config = PipelineConfig()
+        if window_s is not None:
+            config = config.replace(window_s=float(window_s))
         self.profile = profile
-        self.window_s = window_s
-        self.heuristic = IPUDPHeuristic.for_profile(profile)
+        self.config = config
+        self.window_s = config.window_s
+        delta_size, lookback = config.resolve_assembly(profile)
+        self.heuristic = IPUDPHeuristic(
+            delta_size=delta_size,
+            lookback=lookback,
+            classifier=MediaClassifier(video_size_threshold=profile.video_size_threshold),
+        )
         self.ml = IPUDPMLEstimator.for_profile(profile)
         self._trained = False
 
     @classmethod
-    def for_vca(cls, vca: str, window_s: int = 1) -> "QoEPipeline":
-        return cls(get_profile(vca), window_s=window_s)
+    def for_vca(
+        cls,
+        vca: str,
+        window_s: float | None = None,
+        config: PipelineConfig | None = None,
+    ) -> "QoEPipeline":
+        return cls(get_profile(vca), window_s=window_s, config=config)
 
     @property
     def is_trained(self) -> bool:
@@ -91,6 +127,14 @@ class QoEPipeline:
         """
         if not calls:
             raise ValueError("need at least one labelled call to train")
+        # Ground truth is logged per second; training windows must align with
+        # whole ground-truth rows.  (Estimation supports fractional windows.)
+        window_s = int(self.window_s)
+        if window_s != self.window_s or window_s < 1:
+            raise ValueError(
+                f"training requires an integer window_s >= 1 (per-second ground "
+                f"truth), got {self.window_s!r}"
+            )
         from repro.core.resolution import binner_for_vca
 
         binner = binner_for_vca(self.profile.name)
@@ -104,7 +148,7 @@ class QoEPipeline:
                     f"pipeline is for {self.profile.name!r}"
                 )
             matched = match_windows_to_ground_truth(
-                call.trace, call.ground_truth, window_s=self.window_s
+                call.trace, call.ground_truth, window_s=window_s
             )
             for sample in matched:
                 feature_rows.append(self.ml.features_for_window(sample.window))
@@ -121,6 +165,47 @@ class QoEPipeline:
         self.ml.fit(X, fit_targets)
         self._trained = True
         return self
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the pipeline (config + trained forests) as versioned JSON.
+
+        The file fully reconstructs the deployment: VCA profile name,
+        :class:`~repro.core.config.PipelineConfig`, and -- when trained --
+        every per-metric forest plus the feature schema, such that
+        :meth:`load` reproduces predictions bit-identically.
+        """
+        payload = {
+            "format": PIPELINE_FORMAT,
+            "version": PIPELINE_FORMAT_VERSION,
+            "vca": self.profile.name,
+            "config": self.config.to_dict(),
+            "trained": self._trained,
+            "model": self.ml.to_dict() if self._trained else None,
+        }
+        path = Path(path)
+        path.write_text(json.dumps(payload))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QoEPipeline":
+        """Reconstruct a pipeline saved with :meth:`save`."""
+        data = json.loads(Path(path).read_text())
+        if data.get("format") != PIPELINE_FORMAT:
+            raise ValueError(
+                f"{path} is not a saved QoE pipeline (format {data.get('format')!r})"
+            )
+        if data.get("version") != PIPELINE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported pipeline format version {data.get('version')!r} "
+                f"(this build reads version {PIPELINE_FORMAT_VERSION})"
+            )
+        pipeline = cls(get_profile(data["vca"]), config=PipelineConfig.from_dict(data["config"]))
+        if data["trained"]:
+            pipeline.ml = IPUDPMLEstimator.from_dict(data["model"])
+            pipeline._trained = True
+        return pipeline
 
     # -- estimation ----------------------------------------------------------------
 
@@ -145,7 +230,8 @@ class QoEPipeline:
         packet_trace = self._load_trace(trace)
         if not packet_trace:
             return []
-        return StreamingQoEPipeline(self, demux_flows=False).batch_estimates(packet_trace)
+        engine = StreamingQoEPipeline(self, config=self.config.replace(demux_flows=False))
+        return engine.collect(packet_trace, batch=True)
 
     def estimate_call(self, call: CallResult) -> list[PipelineEstimate]:
         """Convenience wrapper estimating a simulated call's trace."""

@@ -29,12 +29,14 @@ from __future__ import annotations
 
 import heapq
 import math
+import warnings
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.core.config import PipelineConfig
 from repro.core.features import IPUDPFeatureAccumulator
 from repro.core.frame_assembly import AssembledFrame, FrameAssembler
 from repro.core.heuristic import estimates_from_frames
@@ -46,6 +48,9 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.core.pipeline import PipelineEstimate, QoEPipeline
 
 __all__ = ["StreamEstimate", "StreamingQoEPipeline", "window_index"]
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` override.
+_UNSET = object()
 
 
 def window_index(timestamp: float, start: float, window_s: float) -> int:
@@ -86,20 +91,17 @@ class _FlowStream:
 
     def __init__(
         self,
-        window_s: float,
-        start: float,
-        reorder_depth: int,
+        config: PipelineConfig,
         classifier: MediaClassifier,
         assembler: FrameAssembler | None,
         predict: Callable[[np.ndarray, float], "PipelineEstimate | None"] | None,
-        max_frame_age_s: float | None = None,
-        backfill_limit: int | None = 0,
     ) -> None:
-        self.window_s = window_s
-        self.start = start
-        self.reorder_depth = reorder_depth
-        self.max_frame_age_s = max_frame_age_s
-        self.backfill_limit = backfill_limit
+        assert config.reorder_depth is not None, "engine must resolve reorder_depth"
+        self.window_s = config.window_s
+        self.start = config.start
+        self.reorder_depth = config.reorder_depth
+        self.max_frame_age_s = config.max_frame_age_s
+        self.backfill_limit = config.backfill_limit
         self.classifier = classifier
         #: Online frame assembler (heuristic mode) -- one per flow.
         self.assembler = assembler
@@ -289,6 +291,11 @@ class StreamingQoEPipeline:
         The configured estimator stack.  Whether the ML models or the IP/UDP
         heuristic are used is decided by ``pipeline.is_trained`` at
         construction time, exactly as in the batch path.
+    config:
+        A :class:`~repro.core.config.PipelineConfig` describing the engine's
+        behaviour.  Defaults to ``pipeline.config``.  The keyword arguments
+        below are per-field overrides kept for convenience (and backward
+        compatibility); when passed they take precedence over ``config``.
     demux_flows:
         When true (default), packets are demultiplexed by unidirectional
         5-tuple and each flow gets an independent estimation stream.  When
@@ -317,27 +324,49 @@ class StreamingQoEPipeline:
         or a capture with epoch-relative timestamps -- from back-filling one
         empty estimate per elapsed window since ``start``.  ``None`` means
         unlimited, the batch contract (windows from ``start``), which
-        :meth:`batch_estimates` selects automatically.
+        :meth:`collect` with ``batch=True`` selects automatically.
     """
 
     def __init__(
         self,
         pipeline: "QoEPipeline",
-        demux_flows: bool = True,
-        start: float = 0.0,
-        reorder_depth: int | None = None,
-        max_frame_age_s: float | None = None,
-        backfill_limit: int | None = 0,
+        config: PipelineConfig | None = None,
+        demux_flows: bool | object = _UNSET,
+        start: float | object = _UNSET,
+        reorder_depth: int | None | object = _UNSET,
+        max_frame_age_s: float | None | object = _UNSET,
+        backfill_limit: int | None | object = _UNSET,
     ) -> None:
         self.pipeline = pipeline
-        self.window_s = float(pipeline.window_s)
-        self.demux_flows = demux_flows
-        self.start = start
+        if config is None:
+            config = pipeline.config
+        overrides = {
+            name: value
+            for name, value in (
+                ("demux_flows", demux_flows),
+                ("start", start),
+                ("reorder_depth", reorder_depth),
+                ("max_frame_age_s", max_frame_age_s),
+                ("backfill_limit", backfill_limit),
+            )
+            if value is not _UNSET
+        }
+        if overrides:
+            config = config.replace(**overrides)
+        # Resolve frame-assembly parameters from the *effective* config, not
+        # the pipeline's pre-built heuristic: a per-engine config override of
+        # delta_size/lookback must actually take effect.
+        self._delta_size, self._lookback = config.resolve_assembly(pipeline.profile)
+        if config.reorder_depth is None:
+            config = config.replace(reorder_depth=self._lookback)
+        self.config = config
+        self.window_s = float(config.window_s)
+        self.demux_flows = config.demux_flows
+        self.start = config.start
         self.trained = pipeline.is_trained
-        lookback = pipeline.heuristic.assembler.lookback
-        self.reorder_depth = lookback if reorder_depth is None else reorder_depth
-        self.max_frame_age_s = max_frame_age_s
-        self.backfill_limit = backfill_limit
+        self.reorder_depth = config.reorder_depth
+        self.max_frame_age_s = config.max_frame_age_s
+        self.backfill_limit = config.backfill_limit
         self._closed = False
         #: Per-flow aggregate statistics only -- packets are never retained.
         self.flow_table = FlowTable(store_packets=False)
@@ -345,7 +374,7 @@ class StreamingQoEPipeline:
         self._flow_order: list[FlowKey | None] = []
         # Batch-adapter mode: when set, trained-mode windows append
         # ``(features, window_start)`` here instead of predicting per window,
-        # so ``batch_estimates`` can run the forests once, vectorized.
+        # so ``collect(batch=True)`` can run the forests once, vectorized.
         self._feature_rows: list[tuple[np.ndarray, float]] | None = None
 
     @classmethod
@@ -450,28 +479,57 @@ class StreamingQoEPipeline:
                     self.flow_table.remove(key)
         return emitted
 
+    def collect(self, packets: Iterable[Packet], batch: bool = False):
+        """Process ``packets`` to exhaustion, flush, and return the estimates.
+
+        This is *the* one-shot collection method (the composable alternative
+        is a :class:`~repro.monitor.QoEMonitor` pushing into sinks):
+
+        * ``batch=False`` (default): returns ``list[StreamEstimate]`` -- every
+          window of every flow, tagged with its 5-tuple, in emission order.
+        * ``batch=True``: single-session batch scoring (the
+          ``QoEPipeline.estimate`` backend); returns bare
+          ``list[PipelineEstimate]`` truncated to the batch window grid
+          ``[0, end_time)`` -- the stream also closes the window *starting*
+          exactly at the last timestamp, which the batch contract excludes.
+          Requires ``demux_flows=False`` and a fresh engine.  In trained
+          mode the per-window feature vectors are collected during the pass
+          and the per-metric forests run once over all windows (vectorized),
+          which is row-for-row identical to predicting at each window close
+          but avoids per-window inference overhead.
+
+        The deprecated ``estimates_for`` and ``batch_estimates`` methods are
+        thin aliases of the two modes.
+        """
+        if not batch:
+            emitted = list(self.process(packets))
+            emitted.extend(self.flush())
+            return emitted
+        return self._collect_batch(packets)
+
     def estimates_for(self, packets: Iterable[Packet]) -> list[StreamEstimate]:
-        """Convenience: process ``packets`` to exhaustion and flush."""
-        emitted = list(self.process(packets))
-        emitted.extend(self.flush())
-        return emitted
+        """Deprecated alias of :meth:`collect`."""
+        warnings.warn(
+            "StreamingQoEPipeline.estimates_for is deprecated; use collect()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.collect(packets)
 
     def batch_estimates(self, packets: Iterable[Packet]) -> list["PipelineEstimate"]:
-        """Single-session batch scoring (the ``QoEPipeline.estimate`` backend).
+        """Deprecated alias of :meth:`collect` with ``batch=True``."""
+        warnings.warn(
+            "StreamingQoEPipeline.batch_estimates is deprecated; use collect(packets, batch=True)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.collect(packets, batch=True)
 
-        Streams ``packets`` through the engine in single-flow mode, then
-        truncates to the batch window grid ``[0, end_time)`` -- the stream
-        also closes the window *starting* exactly at the last timestamp,
-        which the batch contract excludes.  In trained mode the per-window
-        feature vectors are collected during the pass and the per-metric
-        forests run once over all windows (vectorized), which is
-        row-for-row identical to predicting at each window close but avoids
-        per-window inference overhead.
-        """
+    def _collect_batch(self, packets: Iterable[Packet]) -> list["PipelineEstimate"]:
         if self.demux_flows:
-            raise RuntimeError("batch_estimates requires demux_flows=False (one session)")
+            raise RuntimeError("collect(batch=True) requires demux_flows=False (one session)")
         if self._streams:
-            raise RuntimeError("batch_estimates requires a fresh engine")
+            raise RuntimeError("collect(batch=True) requires a fresh engine")
         # The batch contract covers [start, end_time) in full, including
         # leading empty windows.
         self.backfill_limit = None
@@ -497,26 +555,26 @@ class StreamingQoEPipeline:
     # -- internals -------------------------------------------------------------
 
     def _make_stream(self) -> _FlowStream:
+        # Snapshot the engine's *current* knob values: collect(batch=True)
+        # lifts backfill_limit after construction but before the first stream
+        # exists, so per-stream configs must be derived lazily.
+        stream_config = self.config.replace(
+            backfill_limit=self.backfill_limit,
+            max_frame_age_s=self.max_frame_age_s,
+            reorder_depth=self.reorder_depth,
+        )
         if self.trained:
             return _FlowStream(
-                window_s=self.window_s,
-                start=self.start,
-                reorder_depth=self.reorder_depth,
+                stream_config,
                 classifier=self.pipeline.ml.media_classifier,
                 assembler=None,
                 predict=self._collect_row if self._feature_rows is not None else self._predict_row,
-                backfill_limit=self.backfill_limit,
             )
-        template = self.pipeline.heuristic.assembler
         return _FlowStream(
-            window_s=self.window_s,
-            start=self.start,
-            reorder_depth=self.reorder_depth,
+            stream_config,
             classifier=self.pipeline.heuristic.classifier,
-            assembler=FrameAssembler(delta_size=template.delta_size, lookback=template.lookback),
+            assembler=FrameAssembler(delta_size=self._delta_size, lookback=self._lookback),
             predict=None,
-            max_frame_age_s=self.max_frame_age_s,
-            backfill_limit=self.backfill_limit,
         )
 
     def _collect_row(self, features: np.ndarray, window_start: float) -> None:

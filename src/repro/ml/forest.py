@@ -96,11 +96,58 @@ class _BaseForest:
                 f"{type(self).__name__} instance is not fitted; call fit() first"
             )
 
+    # -- persistence -------------------------------------------------------
+
+    #: Discriminator stored in the serialized form, set by subclasses.
+    kind: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of the fitted forest (trees included)."""
+        self._check_fitted()
+        assert self.feature_importances_ is not None
+        return {
+            "kind": self.kind,
+            "params": {
+                "n_estimators": self.n_estimators,
+                "max_depth": self.max_depth,
+                "min_samples_split": self.min_samples_split,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_features": self.max_features,
+                "bootstrap": self.bootstrap,
+                "random_state": self.random_state,
+            },
+            "n_features": self.n_features_,
+            "feature_importances": [float(v) for v in self.feature_importances_],
+            "trees": [tree.to_dict() for tree in self.estimators_],
+            **self._extra_to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_BaseForest":
+        """Inverse of :meth:`to_dict`; the reloaded forest predicts bit-identically."""
+        if data.get("kind") != cls.kind:
+            raise ValueError(
+                f"serialized forest is a {data.get('kind')!r}, expected {cls.kind!r}"
+            )
+        forest = cls(**data["params"])
+        forest._extra_from_dict(data)
+        forest.n_features_ = int(data["n_features"])
+        forest.feature_importances_ = np.asarray(data["feature_importances"], dtype=float)
+        forest.estimators_ = [cls.tree_class.from_dict(tree) for tree in data["trees"]]
+        return forest
+
+    def _extra_to_dict(self) -> dict:
+        return {}
+
+    def _extra_from_dict(self, data: dict) -> None:
+        pass
+
 
 class RandomForestRegressor(_BaseForest):
     """Bagged ensemble of CART regression trees (mean aggregation)."""
 
     tree_class = DecisionTreeRegressor
+    kind = "regressor"
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict the per-sample mean of the individual tree predictions."""
@@ -116,6 +163,7 @@ class RandomForestClassifier(_BaseForest):
     """Bagged ensemble of CART classification trees (soft-vote aggregation)."""
 
     tree_class = DecisionTreeClassifier
+    kind = "classifier"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -123,6 +171,13 @@ class RandomForestClassifier(_BaseForest):
 
     def _prepare_targets(self, y: np.ndarray) -> None:
         self.classes_ = np.unique(y)
+
+    def _extra_to_dict(self) -> dict:
+        assert self.classes_ is not None
+        return {"classes": [c.item() if hasattr(c, "item") else c for c in self.classes_]}
+
+    def _extra_from_dict(self, data: dict) -> None:
+        self.classes_ = np.array(data["classes"])
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Average class-probability estimates across the ensemble.

@@ -134,6 +134,91 @@ class _BaseDecisionTree:
     def predict(self, X: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of the fitted tree.
+
+        Nodes are flattened preorder into parallel columns (``-1`` marks "no
+        child" / "leaf").  Floats survive the JSON round trip bit-identically
+        (``repr`` shortest-round-trip), so a reloaded tree predicts exactly
+        what the original did.
+        """
+        self._check_fitted()
+        assert self.root_ is not None
+        columns: dict[str, list] = {
+            "feature": [], "threshold": [], "left": [], "right": [],
+            "value": [], "n_samples": [], "impurity": [],
+        }
+        self._flatten(self.root_, columns)
+        return {
+            "params": {
+                "max_depth": self.max_depth,
+                "min_samples_split": self.min_samples_split,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_features": self.max_features,
+                "random_state": self.random_state,
+            },
+            "n_features": self.n_features_,
+            "feature_importances": [float(v) for v in self.feature_importances_],
+            "nodes": columns,
+            **self._extra_to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_BaseDecisionTree":
+        """Inverse of :meth:`to_dict`."""
+        tree = cls(**data["params"])
+        tree._extra_from_dict(data)
+        tree.n_features_ = int(data["n_features"])
+        tree.feature_importances_ = np.asarray(data["feature_importances"], dtype=float)
+        tree.root_ = tree._unflatten(data["nodes"], 0, depth=0)
+        return tree
+
+    def _flatten(self, node: TreeNode, columns: dict[str, list]) -> int:
+        index = len(columns["feature"])
+        columns["feature"].append(-1 if node.feature is None else int(node.feature))
+        columns["threshold"].append(float(node.threshold))
+        columns["value"].append(self._encode_value(node.value))
+        columns["n_samples"].append(int(node.n_samples))
+        columns["impurity"].append(float(node.impurity))
+        columns["left"].append(-1)
+        columns["right"].append(-1)
+        if node.feature is not None:
+            assert node.left is not None and node.right is not None
+            columns["left"][index] = self._flatten(node.left, columns)
+            columns["right"][index] = self._flatten(node.right, columns)
+        return index
+
+    def _unflatten(self, columns: dict[str, list], index: int, depth: int) -> TreeNode:
+        feature = columns["feature"][index]
+        node = TreeNode(
+            feature=None if feature < 0 else int(feature),
+            threshold=float(columns["threshold"][index]),
+            value=self._decode_value(columns["value"][index]),
+            n_samples=int(columns["n_samples"][index]),
+            impurity=float(columns["impurity"][index]),
+            depth=depth,
+        )
+        if feature >= 0:
+            node.left = self._unflatten(columns, columns["left"][index], depth + 1)
+            node.right = self._unflatten(columns, columns["right"][index], depth + 1)
+        return node
+
+    def _encode_value(self, value):
+        """JSON form of a node's prediction value (subclass hook)."""
+        return float(value)
+
+    def _decode_value(self, value):
+        return float(value)
+
+    def _extra_to_dict(self) -> dict:
+        """Additional serialized state (subclass hook)."""
+        return {}
+
+    def _extra_from_dict(self, data: dict) -> None:
+        pass
+
     def get_depth(self) -> int:
         self._check_fitted()
         assert self.root_ is not None
@@ -313,6 +398,20 @@ class DecisionTreeClassifier(_BaseDecisionTree):
 
     def _prepare_targets(self, y: np.ndarray) -> None:
         self.classes_ = np.unique(y)
+        self._class_index = {c: i for i, c in enumerate(self.classes_)}
+
+    def _encode_value(self, value):
+        return [float(v) for v in np.asarray(value, dtype=float)]
+
+    def _decode_value(self, value):
+        return np.asarray(value, dtype=float)
+
+    def _extra_to_dict(self) -> dict:
+        assert self.classes_ is not None
+        return {"classes": [c.item() if hasattr(c, "item") else c for c in self.classes_]}
+
+    def _extra_from_dict(self, data: dict) -> None:
+        self.classes_ = np.array(data["classes"])
         self._class_index = {c: i for i, c in enumerate(self.classes_)}
 
     def _encode(self, y: np.ndarray) -> np.ndarray:

@@ -1,0 +1,214 @@
+"""The Source -> Engine -> Sink facade: a deployable QoE monitor in one object.
+
+:class:`QoEMonitor` wires the three composable layers of the public API
+together:
+
+* a **source** (:mod:`repro.sources`) provides packets -- a pcap file, a
+  materialized trace, a live-capture generator, or a k-way merge of several
+  capture points;
+* the **engine** (:class:`~repro.core.streaming.StreamingQoEPipeline`)
+  demultiplexes by 5-tuple and emits one estimate per flow per window, with
+  O(window) state per live flow;
+* the **sinks** (:mod:`repro.sinks`) consume estimates as they are emitted --
+  collectors, JSONL/CSV files, rolling summaries, scrape counters.
+
+Train-once / deploy-many::
+
+    # in the lab
+    pipeline = QoEPipeline.for_vca("teams").train(lab_calls)
+    pipeline.save("teams.model.json")
+
+    # at every deployment site
+    monitor = QoEMonitor.from_model(
+        "teams.model.json",
+        source=PcapSource("capture.pcap"),
+        sinks=[JSONLinesSink("estimates.jsonl"), SummarySink(degraded_fps_threshold=18)],
+    )
+    report = monitor.run()
+
+Behaviour (windowing, reordering tolerance, liveness, idle eviction) comes
+from the pipeline's frozen :class:`~repro.core.config.PipelineConfig`;
+``config=...`` overrides it per monitor.  When the config sets
+``idle_timeout_s``, flows that go quiet for that long (in stream time) are
+flushed and evicted automatically, so a perpetual monitor's memory tracks
+*live* flows only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import QoEPipeline
+from repro.core.streaming import StreamEstimate, StreamingQoEPipeline
+from repro.sources.base import PacketSource, as_source
+
+__all__ = ["MonitorReport", "QoEMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """What one :meth:`QoEMonitor.run` processed."""
+
+    n_packets: int
+    n_estimates: int
+    n_flows: int
+    n_evicted_flows: int
+
+
+class QoEMonitor:
+    """Run a (trained or heuristic) pipeline from a source into sinks.
+
+    Parameters
+    ----------
+    pipeline:
+        The estimator stack (:class:`~repro.core.pipeline.QoEPipeline`).
+    source:
+        Anything :func:`~repro.sources.base.as_source` understands: a
+        :class:`~repro.sources.base.PacketSource`, a
+        :class:`~repro.net.trace.PacketTrace`, a pcap path, or a bare packet
+        iterable.
+    sinks:
+        A sink or sequence of sinks (:mod:`repro.sinks`); every emitted
+        estimate is fanned out to all of them, in order.
+    config:
+        Overrides ``pipeline.config`` for this monitor (e.g. enabling
+        ``idle_timeout_s`` or ``max_frame_age_s`` for a live deployment).
+    batch_grid:
+        When true (requires ``demux_flows=False`` in the effective config),
+        estimates are produced on the batch window grid ``[start,
+        end_time)`` -- exactly what ``QoEPipeline.estimate`` returns,
+        including leading empty windows and vectorized trained inference.
+        Sinks then receive everything at end of source rather than as
+        windows close.  Use for offline scoring of single-session captures;
+        leave false for live monitoring.
+    """
+
+    def __init__(
+        self,
+        pipeline: QoEPipeline,
+        source,
+        sinks=(),
+        config: PipelineConfig | None = None,
+        batch_grid: bool = False,
+    ) -> None:
+        self.pipeline = pipeline
+        self.source: PacketSource = as_source(source)
+        if hasattr(sinks, "emit"):  # a single sink was passed
+            sinks = (sinks,)
+        self.sinks = tuple(sinks)
+        self.config = config if config is not None else pipeline.config
+        if batch_grid:
+            if self.config.demux_flows:
+                raise ValueError(
+                    "batch_grid requires demux_flows=False (one pre-isolated session); "
+                    "pass config=pipeline.config.replace(demux_flows=False)"
+                )
+            if self.config.backfill_limit is not None:
+                # The batch grid covers [start, end_time) in full.
+                self.config = self.config.replace(backfill_limit=None)
+        self.batch_grid = batch_grid
+        #: The engine of the (current or completed) :meth:`run`.
+        self.engine: StreamingQoEPipeline | None = None
+        self._ran = False
+
+    # -- construction shortcuts ------------------------------------------------
+
+    @classmethod
+    def for_vca(cls, vca: str, source, sinks=(), config: PipelineConfig | None = None, **kwargs) -> "QoEMonitor":
+        """An untrained (heuristic-backed) monitor for ``vca``."""
+        return cls(QoEPipeline.for_vca(vca, config=config), source, sinks, **kwargs)
+
+    @classmethod
+    def from_model(
+        cls,
+        path: str | Path,
+        source,
+        sinks=(),
+        config: PipelineConfig | None = None,
+        **kwargs,
+    ) -> "QoEMonitor":
+        """Deploy a model trained elsewhere: load ``path`` (see
+        :meth:`QoEPipeline.save <repro.core.pipeline.QoEPipeline.save>`) and
+        front it with ``source``/``sinks``."""
+        return cls(QoEPipeline.load(path), source, sinks=sinks, config=config, **kwargs)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> MonitorReport:
+        """Consume the source to exhaustion, fanning estimates into the sinks.
+
+        One-shot: sinks are closed when the source is exhausted (file sinks
+        flush to disk), so a monitor cannot be run twice -- construct a new
+        one (with fresh sinks) to score another capture.  Returns a
+        :class:`MonitorReport` of what was processed.
+        """
+        if self._ran:
+            raise RuntimeError(
+                "this monitor already ran and closed its sinks; construct a new "
+                "QoEMonitor (with fresh sinks) for the next capture"
+            )
+        self._ran = True
+        self.engine = engine = StreamingQoEPipeline(self.pipeline, config=self.config)
+        if self.batch_grid:
+            return self._run_batch(engine)
+
+        idle_timeout = self.config.idle_timeout_s
+        next_eviction: float | None = None
+        n_packets = 0
+        n_estimates = 0
+        n_evicted = 0
+        flows_seen: set = set()
+        try:
+            for packet in self.source:
+                n_packets += 1
+                n_estimates += self._fanout(engine.push(packet))
+                if idle_timeout is not None:
+                    # Amortized sweep, driven by stream time: at most one
+                    # O(live flows) scan per idle_timeout_s of capture.
+                    if next_eviction is None:
+                        next_eviction = packet.timestamp + idle_timeout
+                    elif packet.timestamp >= next_eviction:
+                        evicted = engine.evict_idle(idle_timeout)
+                        n_evicted += len({item.flow for item in evicted})
+                        flows_seen.update(item.flow for item in evicted)
+                        n_estimates += self._fanout(evicted)
+                        next_eviction = packet.timestamp + idle_timeout
+            n_estimates += self._fanout(engine.flush())
+        finally:
+            for sink in self.sinks:
+                sink.close()
+        flows_seen.update(engine._streams.keys())
+        return MonitorReport(
+            n_packets=n_packets,
+            n_estimates=n_estimates,
+            n_flows=len(flows_seen),
+            n_evicted_flows=n_evicted,
+        )
+
+    def _run_batch(self, engine: StreamingQoEPipeline) -> MonitorReport:
+        try:
+            estimates = engine.collect(self.source, batch=True)
+            for estimate in estimates:
+                item = StreamEstimate(flow=None, estimate=estimate)
+                for sink in self.sinks:
+                    sink.emit(item)
+        finally:
+            for sink in self.sinks:
+                sink.close()
+        # In single-flow mode the engine skips 5-tuple bookkeeping; the
+        # stream's push counter is the packet count.
+        stream = engine._streams.get(None)
+        return MonitorReport(
+            n_packets=stream._seq if stream is not None else 0,
+            n_estimates=len(estimates),
+            n_flows=1 if estimates else 0,
+            n_evicted_flows=0,
+        )
+
+    def _fanout(self, items: list[StreamEstimate]) -> int:
+        for item in items:
+            for sink in self.sinks:
+                sink.emit(item)
+        return len(items)

@@ -84,11 +84,17 @@ class PcapReader:
 
     Non-UDP records are skipped.  If ``parse_rtp`` is true, an RTP header is
     parsed from the first 12 payload bytes when it looks like RTP (version 2).
+
+    With ``strict=False`` a capture whose *final* record is cut short -- a
+    crashed tcpdump, a file still being written -- yields every complete
+    record and then stops instead of raising; a corrupt global header is an
+    error either way.
     """
 
-    def __init__(self, path: str | Path, parse_rtp: bool = True) -> None:
+    def __init__(self, path: str | Path, parse_rtp: bool = True, strict: bool = True) -> None:
         self.path = Path(path)
         self.parse_rtp = parse_rtp
+        self.strict = strict
 
     def __iter__(self):
         with open(self.path, "rb") as handle:
@@ -109,10 +115,14 @@ class PcapReader:
                 if not record_header:
                     return
                 if len(record_header) < record_struct.size:
+                    if not self.strict:
+                        return
                     raise ValueError(f"{self.path}: truncated record header")
                 seconds, microseconds, captured_len, _original_len = record_struct.unpack(record_header)
                 frame = handle.read(captured_len)
                 if len(frame) < captured_len:
+                    if not self.strict:
+                        return
                     raise ValueError(f"{self.path}: truncated packet record")
                 packet = self._parse_frame(seconds + microseconds / 1e6, frame)
                 if packet is not None:

@@ -1,0 +1,97 @@
+"""Estimate sinks: the pluggable output side of a monitor.
+
+A *sink* consumes :class:`~repro.core.streaming.StreamEstimate` objects as
+the engine emits them -- one call per closed window per flow, in emission
+order.  The protocol is two methods:
+
+* ``emit(item)`` -- handle one estimate;
+* ``close()`` -- end of stream: flush buffers, close files.  Must be
+  idempotent; emitting after close is undefined.
+
+Sinks must be O(1)-ish per estimate so the monitor's end-to-end memory bound
+(O(window) per live flow) survives the output side.  File sinks stream to
+disk, the summary sinks keep rolling aggregates; only
+:class:`CollectorSink` -- meant for tests and small offline runs -- retains
+everything.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Protocol, runtime_checkable
+
+from repro.core.pipeline import PipelineEstimate
+from repro.core.streaming import StreamEstimate
+
+__all__ = ["EstimateSink", "CollectorSink", "flow_as_dict", "estimate_as_dict"]
+
+
+@runtime_checkable
+class EstimateSink(Protocol):
+    """Anything that consumes stream estimates one at a time."""
+
+    def emit(self, item: StreamEstimate) -> None: ...  # pragma: no cover - protocol
+
+    def close(self) -> None: ...  # pragma: no cover - protocol
+
+
+def flow_as_dict(item: StreamEstimate) -> dict:
+    """The flow 5-tuple of an estimate as plain columns (``None`` -> nulls)."""
+    flow = item.flow
+    if flow is None:
+        return {"src": None, "src_port": None, "dst": None, "dst_port": None, "protocol": None}
+    return {
+        "src": flow.src,
+        "src_port": flow.src_port,
+        "dst": flow.dst,
+        "dst_port": flow.dst_port,
+        "protocol": flow.protocol,
+    }
+
+
+def estimate_as_dict(item: StreamEstimate) -> dict:
+    """One estimate as a flat, JSON/CSV-friendly record (flow + metrics)."""
+    estimate = item.estimate
+    return {
+        **flow_as_dict(item),
+        "window_start": estimate.window_start,
+        "frame_rate": estimate.frame_rate,
+        "bitrate_kbps": estimate.bitrate_kbps,
+        "frame_jitter_ms": estimate.frame_jitter_ms,
+        "resolution": estimate.resolution,
+        "source": estimate.source,
+    }
+
+
+class CollectorSink:
+    """Retain every estimate in memory (tests, small offline runs).
+
+    ``items`` holds the :class:`~repro.core.streaming.StreamEstimate`
+    objects in emission order; :attr:`estimates` strips the flow tags,
+    which makes comparing against ``QoEPipeline.estimate`` a one-liner.
+    """
+
+    def __init__(self) -> None:
+        self.items: list[StreamEstimate] = []
+        self.closed = False
+
+    def emit(self, item: StreamEstimate) -> None:
+        self.items.append(item)
+
+    def close(self) -> None:
+        self.closed = True
+
+    @property
+    def estimates(self) -> list[PipelineEstimate]:
+        """The bare per-window estimates, in emission order."""
+        return [item.estimate for item in self.items]
+
+    def for_flow(self, flow) -> list[PipelineEstimate]:
+        """Estimates belonging to one flow key (or ``None`` in single-flow mode)."""
+        return [item.estimate for item in self.items if item.flow == flow]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[StreamEstimate]:
+        return iter(self.items)

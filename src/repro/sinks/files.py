@@ -1,0 +1,80 @@
+"""File sinks: stream estimates to disk as they are emitted.
+
+Both sinks write one record per estimate and keep no per-record state, so a
+monitor writing them runs in O(window) memory end to end.  Both accept either
+a path (the sink owns the file handle and closes it) or an open text
+file-like object (the caller owns it; ``close()`` only flushes).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.core.streaming import StreamEstimate
+from repro.sinks.base import estimate_as_dict
+
+__all__ = ["JSONLinesSink", "CSVSink"]
+
+#: Column order of the flat estimate record (shared by both file formats).
+FIELD_NAMES: tuple[str, ...] = (
+    "src", "src_port", "dst", "dst_port", "protocol",
+    "window_start", "frame_rate", "bitrate_kbps", "frame_jitter_ms",
+    "resolution", "source",
+)
+
+
+class _FileSink:
+    """Shared open/own/close machinery for the text-file sinks."""
+
+    def __init__(self, target) -> None:
+        if isinstance(target, (str, Path)):
+            self._file = open(target, "w", newline="")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self.records_written = 0
+
+    def close(self) -> None:
+        if self._file is None:
+            return
+        if self._owns_file:
+            self._file.close()
+        else:
+            self._file.flush()
+        self._file = None
+
+    def _check_open(self) -> None:
+        if self._file is None:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class JSONLinesSink(_FileSink):
+    """One JSON object per line per estimate (jq/pandas/BigQuery friendly)."""
+
+    def emit(self, item: StreamEstimate) -> None:
+        self._check_open()
+        self._file.write(json.dumps(estimate_as_dict(item)) + "\n")
+        self.records_written += 1
+
+
+class CSVSink(_FileSink):
+    """CSV with a header row; columns are :data:`FIELD_NAMES`."""
+
+    def __init__(self, target) -> None:
+        super().__init__(target)
+        self._writer = csv.DictWriter(self._file, fieldnames=list(FIELD_NAMES))
+        self._writer.writeheader()
+
+    def emit(self, item: StreamEstimate) -> None:
+        self._check_open()
+        self._writer.writerow(estimate_as_dict(item))
+        self.records_written += 1

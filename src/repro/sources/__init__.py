@@ -1,0 +1,35 @@
+"""Pluggable packet providers for the Source -> Engine -> Sink monitor API.
+
+One protocol (:class:`~repro.sources.base.PacketSource`: iterate, get
+packets in arrival order) and four implementations:
+
+* :class:`~repro.sources.base.TraceSource` -- a materialized
+  :class:`~repro.net.trace.PacketTrace`;
+* :class:`~repro.sources.base.PcapSource` -- lazy record-by-record reading of
+  an on-disk capture (O(window) end-to-end memory);
+* :class:`~repro.sources.base.IteratorSource` -- any packet iterable, e.g. a
+  live-capture generator;
+* :class:`~repro.sources.merged.MergedSource` -- streaming k-way timestamp
+  merge of several capture points.
+
+:func:`~repro.sources.base.as_source` coerces traces / pcap paths / bare
+iterables, so facade APIs accept any packet-shaped input.
+"""
+
+from repro.sources.base import (
+    IteratorSource,
+    PacketSource,
+    PcapSource,
+    TraceSource,
+    as_source,
+)
+from repro.sources.merged import MergedSource
+
+__all__ = [
+    "PacketSource",
+    "IteratorSource",
+    "TraceSource",
+    "PcapSource",
+    "MergedSource",
+    "as_source",
+]

@@ -57,7 +57,7 @@ class TestSingleFlowEquivalence:
         pipeline = QoEPipeline.for_vca("teams")
         batch = pipeline.estimate(teams_call.trace)
         stream = StreamingQoEPipeline(pipeline, demux_flows=False)
-        streamed = [e.estimate for e in stream.estimates_for(teams_call.trace)]
+        streamed = [e.estimate for e in stream.collect(teams_call.trace)]
         assert batch
         assert_estimates_equal(batch, streamed)
 
@@ -65,7 +65,7 @@ class TestSingleFlowEquivalence:
         pipeline = QoEPipeline.for_vca("teams")
         batch = pipeline.estimate(lossy_teams_call.trace)
         stream = StreamingQoEPipeline(pipeline, demux_flows=False)
-        streamed = [e.estimate for e in stream.estimates_for(lossy_teams_call.trace)]
+        streamed = [e.estimate for e in stream.collect(lossy_teams_call.trace)]
         assert_estimates_equal(batch, streamed)
 
     def test_trained_ml_parity(self, teams_calls_small):
@@ -74,7 +74,7 @@ class TestSingleFlowEquivalence:
         batch = pipeline.estimate(call.trace)
         assert all(e.source == "ml" for e in batch)
         stream = StreamingQoEPipeline(pipeline, demux_flows=False)
-        streamed = [e.estimate for e in stream.estimates_for(call.trace)]
+        streamed = [e.estimate for e in stream.collect(call.trace)]
         assert_estimates_equal(batch, streamed)
 
     def test_batch_adapter_is_the_streaming_engine(self, teams_call):
@@ -94,7 +94,7 @@ class TestMultiFlowEquivalence:
         merged = heapq.merge(flow_a_trace, flow_b_trace, key=lambda p: p.timestamp)
 
         stream = StreamingQoEPipeline(pipeline)
-        emitted = stream.estimates_for(merged)
+        emitted = stream.collect(merged)
         assert len(stream.flows) == 2
 
         by_flow: dict = {}
@@ -141,7 +141,7 @@ class TestOutOfOrderPackets:
                 i += 1
         batch = pipeline.estimate(teams_call.trace)
         stream = StreamingQoEPipeline(pipeline, demux_flows=False)
-        streamed = [e.estimate for e in stream.estimates_for(iter(shuffled))]
+        streamed = [e.estimate for e in stream.collect(iter(shuffled))]
         assert_estimates_equal(batch, streamed)
 
     def test_deeper_reorder_buffer(self, teams_call):
@@ -156,7 +156,7 @@ class TestOutOfOrderPackets:
             shuffled[i : i + 4] = block
         batch = pipeline.estimate(teams_call.trace)
         stream = StreamingQoEPipeline(pipeline, demux_flows=False, reorder_depth=4)
-        streamed = [e.estimate for e in stream.estimates_for(iter(shuffled))]
+        streamed = [e.estimate for e in stream.collect(iter(shuffled))]
         assert_estimates_equal(batch, streamed)
 
 
@@ -166,7 +166,7 @@ class TestBoundedMemory:
         pipeline = QoEPipeline.for_vca("teams")
         feed = (p for p in teams_call.trace)  # exhaustible, one pass only
         stream = StreamingQoEPipeline(pipeline, demux_flows=False)
-        streamed = [e.estimate for e in stream.estimates_for(feed)]
+        streamed = [e.estimate for e in stream.collect(feed)]
         assert_estimates_equal(pipeline.estimate(teams_call.trace), streamed)
 
     def test_per_flow_state_stays_bounded_during_processing(self, teams_call, lossy_teams_call):
@@ -196,7 +196,7 @@ class TestBoundedMemory:
     def test_flow_table_does_not_retain_packets(self, teams_call):
         pipeline = QoEPipeline.for_vca("teams")
         stream = StreamingQoEPipeline(pipeline)
-        stream.estimates_for(teams_call.trace)
+        stream.collect(teams_call.trace)
         assert not stream.flow_table.store_packets
         with pytest.raises(RuntimeError):
             stream.flow_table.packets(stream.flows[0])
@@ -260,7 +260,7 @@ class TestLiveness:
         pipeline = QoEPipeline.for_vca("teams")
         batch = pipeline.estimate(teams_call.trace)
         stream = StreamingQoEPipeline(pipeline, demux_flows=False, max_frame_age_s=2.0)
-        streamed = [e.estimate for e in stream.estimates_for(teams_call.trace)]
+        streamed = [e.estimate for e in stream.collect(teams_call.trace)]
         assert_estimates_equal(batch, streamed)
 
 
@@ -289,7 +289,7 @@ class TestExcessiveReordering:
         feed = ordered[:1000] + [late] + ordered[1000:]
         batch = pipeline.estimate(call.trace)
         stream = StreamingQoEPipeline(pipeline, demux_flows=False)
-        streamed = [e.estimate for e in stream.estimates_for(iter(feed))]
+        streamed = [e.estimate for e in stream.collect(iter(feed))]
         # The late packet is dropped; estimates still match the clean batch.
         assert_estimates_equal(batch, streamed)
 

@@ -1,0 +1,142 @@
+"""Trained-pipeline persistence: versioned JSON, bit-identical predictions.
+
+The train-once / deploy-many contract: an estimator (or whole pipeline)
+saved with ``save(path)`` and reconstructed with ``load(path)`` must produce
+**bit-identical** predictions on a held-out trace -- not approximately equal,
+identical -- so that lab-certified models behave exactly the same at every
+deployment site.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import CollectorSink, PcapSource, QoEMonitor, QoEPipeline
+from repro.core.estimators import BaseMLEstimator, IPUDPMLEstimator
+from repro.core.pipeline import PIPELINE_FORMAT_VERSION
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+
+
+@pytest.fixture(scope="module")
+def trained(teams_calls_small):
+    return QoEPipeline.for_vca("teams").train(teams_calls_small)
+
+
+class TestPipelineRoundTrip:
+    def test_bit_identical_predictions_on_held_out_trace(self, trained, teams_call, tmp_path):
+        """The held-out trace was never seen in training; predictions must match
+        to the last bit after a save/load cycle."""
+        path = trained.save(tmp_path / "teams.model.json")
+        loaded = QoEPipeline.load(path)
+        assert loaded.is_trained
+        assert loaded.profile.name == "teams"
+        assert loaded.config == trained.config
+        original = trained.estimate(teams_call.trace)
+        reloaded = loaded.estimate(teams_call.trace)
+        assert original == reloaded  # dataclass equality: every float bit-identical
+
+    def test_from_model_monitor_matches_saved_pipeline(self, trained, teams_call, tmp_path):
+        model_path = trained.save(tmp_path / "teams.model.json")
+        pcap_path = tmp_path / "heldout.pcap"
+        teams_call.trace.to_pcap(pcap_path)
+        collector = CollectorSink()
+        monitor = QoEMonitor.from_model(
+            model_path,
+            PcapSource(pcap_path),
+            sinks=collector,
+            config=trained.config.replace(demux_flows=False),
+            batch_grid=True,
+        )
+        monitor.run()
+        assert collector.estimates == trained.estimate(pcap_path)
+
+    def test_untrained_pipeline_round_trips(self, tmp_path):
+        pipeline = QoEPipeline.for_vca("webex", window_s=2)
+        path = pipeline.save(tmp_path / "webex.model.json")
+        loaded = QoEPipeline.load(path)
+        assert not loaded.is_trained
+        assert loaded.window_s == 2.0
+        assert loaded.profile.name == "webex"
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}))
+        with pytest.raises(ValueError, match="not a saved QoE pipeline"):
+            QoEPipeline.load(path)
+
+    def test_future_version_rejected(self, trained, tmp_path):
+        path = trained.save(tmp_path / "model.json")
+        data = json.loads(path.read_text())
+        data["version"] = PIPELINE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="version"):
+            QoEPipeline.load(path)
+
+
+class TestEstimatorRoundTrip:
+    def test_estimator_save_load_bit_identical(self, trained, teams_call, tmp_path):
+        estimator = trained.ml
+        path = estimator.save(tmp_path / "estimator.json")
+        loaded = IPUDPMLEstimator.load(path)
+
+        from repro.core.windows import window_trace
+
+        windows = window_trace(teams_call.trace, window_s=1)
+        X = estimator.feature_matrix(windows)
+        for metric in ("frame_rate", "bitrate", "frame_jitter", "resolution"):
+            assert np.array_equal(
+                estimator.predict_metric(X, metric), loaded.predict_metric(X, metric)
+            ), metric
+        assert estimator.feature_importances("frame_rate") == loaded.feature_importances("frame_rate")
+
+    def test_base_class_dispatches_on_estimator_name(self, trained, tmp_path):
+        path = trained.ml.save(tmp_path / "estimator.json")
+        loaded = BaseMLEstimator.load(path)
+        assert isinstance(loaded, IPUDPMLEstimator)
+        assert loaded.media_classifier.video_size_threshold == trained.ml.media_classifier.video_size_threshold
+
+    def test_wrong_subclass_rejected(self, trained, tmp_path):
+        from repro.core.estimators import RTPMLEstimator
+
+        path = trained.ml.save(tmp_path / "estimator.json")
+        with pytest.raises(ValueError, match="expected RTPMLEstimator"):
+            RTPMLEstimator.load(path)
+
+    def test_resolution_binner_survives(self, trained, tmp_path):
+        loaded = IPUDPMLEstimator.load(trained.ml.save(tmp_path / "e.json"))
+        assert loaded.resolution_binner.class_names == trained.ml.resolution_binner.class_names
+        assert loaded.resolution_binner.label(1000.0) == "high"
+
+
+class TestForestRoundTrip:
+    def test_regressor_round_trip(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=8, max_depth=6, random_state=3).fit(X, y)
+        restored = RandomForestRegressor.from_dict(
+            json.loads(json.dumps(forest.to_dict()))
+        )
+        assert np.array_equal(forest.predict(X), restored.predict(X))
+        assert np.array_equal(forest.feature_importances_, restored.feature_importances_)
+        assert restored.estimators_[0].get_depth() == forest.estimators_[0].get_depth()
+        assert restored.estimators_[0].get_n_nodes() == forest.estimators_[0].get_n_nodes()
+
+    def test_classifier_round_trip(self, classification_data):
+        X, y = classification_data
+        forest = RandomForestClassifier(n_estimators=8, max_depth=6, random_state=3).fit(X, y)
+        restored = RandomForestClassifier.from_dict(
+            json.loads(json.dumps(forest.to_dict()))
+        )
+        assert np.array_equal(forest.predict(X), restored.predict(X))
+        assert np.array_equal(forest.predict_proba(X), restored.predict_proba(X))
+        assert np.array_equal(forest.classes_, restored.classes_)
+
+    def test_kind_mismatch_rejected(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=2, max_depth=3).fit(X, y)
+        with pytest.raises(ValueError, match="classifier"):
+            RandomForestClassifier.from_dict(forest.to_dict())
+
+    def test_unfitted_forest_refuses_to_serialize(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RandomForestRegressor().to_dict()
