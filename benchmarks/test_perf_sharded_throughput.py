@@ -1,0 +1,169 @@
+"""Throughput benchmark: sharded multi-worker monitor vs single-process engine.
+
+Measures packets/second of QoE estimation over a synthetic many-flow vantage
+trace, comparing
+
+* the **single-process streaming engine** (the PR 1 number tracked in
+  ``BENCH_streaming.json``) run in-process;
+* ``ShardedQoEMonitor`` with **1 worker** -- isolates the routing + IPC +
+  process overhead of the cluster layer; and
+* ``ShardedQoEMonitor`` with **N > 1 workers** -- the scale-out path.
+
+The result is written to ``benchmarks/results/BENCH_sharded.json``.  Sharding
+pays for IPC (every packet is pickled across a process boundary), so its win
+is parallel hardware: on multi-core runners the multi-worker configuration
+must not regress against the 1-worker sharded floor (``MIN_SCALING``); on a
+single core the numbers are recorded for tracking and the scaling assertion
+is vacuous (there is nothing to scale onto, and the honest comparison --
+against ``BENCH_streaming``'s in-process packets/sec -- is also recorded).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, save_artifact
+from repro import CollectorSink, IteratorSource, QoEPipeline, ShardedQoEMonitor
+from repro.core.streaming import StreamingQoEPipeline
+from repro.net.packet import IPv4Header, Packet, UDPHeader
+
+_SMOKE = "BENCH_SMOKE_DURATION_S" in os.environ
+TRACE_DURATION_S = float(os.environ.get("BENCH_SMOKE_DURATION_S", 60.0))
+N_FLOWS = 8
+MULTI_WORKERS = 2
+_CPUS = os.cpu_count() or 1
+#: Multi-worker pps must reach this fraction of the 1-worker sharded pps.
+#: Genuine scaling needs >1 core; serial hardware only records the numbers.
+MIN_SCALING = float(os.environ.get("BENCH_SHARDED_MIN_SCALING", "0.8" if _CPUS > 1 else "0.0"))
+_ARTIFACT_NAME = "BENCH_sharded_smoke" if _SMOKE else "BENCH_sharded"
+
+_measured: dict[str, float] = {}
+_counts: dict[str, int] = {}
+
+
+def _synthetic_session(seed: int, client_ip: str, client_port: int) -> list[Packet]:
+    """One VCA-like downlink flow: ~25 fps fragmented video bursts."""
+    rng = np.random.default_rng(seed)
+    ip = IPv4Header(src="192.0.2.10", dst=client_ip)
+    udp = UDPHeader(src_port=3478, dst_port=client_port)
+    packets: list[Packet] = []
+    t = float(rng.uniform(0.0, 0.02))
+    while t < TRACE_DURATION_S:
+        size = int(rng.integers(700, 1200))
+        for i in range(int(rng.integers(2, 5))):
+            packets.append(Packet(timestamp=t + i * 0.0008, ip=ip, udp=udp, payload_size=size))
+        t += float(rng.normal(0.04, 0.004))
+    return packets
+
+
+@pytest.fixture(scope="module")
+def vantage_trace() -> list[Packet]:
+    """N_FLOWS interleaved sessions, as one capture point would see them."""
+    flows = [
+        _synthetic_session(seed, f"10.0.0.{seed + 1}", 50000 + seed) for seed in range(N_FLOWS)
+    ]
+    return sorted((p for flow in flows for p in flow), key=lambda p: p.timestamp)
+
+
+def _run_sharded(packets: list[Packet], n_workers: int) -> int:
+    sink = CollectorSink()
+    report = ShardedQoEMonitor(
+        QoEPipeline.for_vca("teams"),
+        IteratorSource(iter(packets)),
+        sinks=sink,
+        n_workers=n_workers,
+    ).run()
+    assert report.n_flows == N_FLOWS
+    return report.n_estimates
+
+
+def test_benchmark_single_process_engine(benchmark, vantage_trace):
+    def run():
+        engine = StreamingQoEPipeline(QoEPipeline.for_vca("teams"))
+        count = sum(1 for _ in engine.process(iter(vantage_trace)))
+        return count + len(engine.flush())
+
+    n_estimates = benchmark.pedantic(run, rounds=2, iterations=1)
+    _counts["single_process"] = n_estimates
+    if benchmark.stats is not None:
+        _measured["single_process_s"] = float(benchmark.stats.stats.mean)
+
+
+def test_benchmark_sharded_one_worker(benchmark, vantage_trace):
+    n_estimates = benchmark.pedantic(
+        _run_sharded, args=(vantage_trace, 1), rounds=2, iterations=1
+    )
+    _counts["sharded_1w"] = n_estimates
+    if benchmark.stats is not None:
+        _measured["sharded_1w_s"] = float(benchmark.stats.stats.mean)
+
+
+def test_benchmark_sharded_multi_worker(benchmark, vantage_trace):
+    n_estimates = benchmark.pedantic(
+        _run_sharded, args=(vantage_trace, MULTI_WORKERS), rounds=2, iterations=1
+    )
+    _counts["sharded_multi"] = n_estimates
+    if benchmark.stats is not None:
+        _measured["sharded_multi_s"] = float(benchmark.stats.stats.mean)
+
+
+def test_sharded_scaling_and_artifact(vantage_trace):
+    needed = {"single_process_s", "sharded_1w_s", "sharded_multi_s"}
+    if not needed <= _measured.keys():
+        pytest.skip("benchmark timings unavailable (benchmarks disabled?)")
+    # Every configuration saw the same work and produced every estimate.
+    assert _counts["single_process"] == _counts["sharded_1w"] == _counts["sharded_multi"]
+
+    n_packets = len(vantage_trace)
+    single_pps = n_packets / _measured["single_process_s"]
+    one_worker_pps = n_packets / _measured["sharded_1w_s"]
+    multi_pps = n_packets / _measured["sharded_multi_s"]
+    scaling = multi_pps / one_worker_pps
+
+    streaming_reference = None
+    reference_path = RESULTS_DIR / "BENCH_streaming.json"
+    if reference_path.exists():
+        streaming_reference = json.loads(reference_path.read_text()).get(
+            "streaming_packets_per_s"
+        )
+
+    payload = {
+        "benchmark": "sharded_throughput",
+        "trace": {
+            "duration_s": TRACE_DURATION_S,
+            "n_packets": n_packets,
+            "n_flows": N_FLOWS,
+        },
+        "cpu_count": _CPUS,
+        "multi_workers": MULTI_WORKERS,
+        "single_process_packets_per_s": round(single_pps, 1),
+        "sharded_1_worker_packets_per_s": round(one_worker_pps, 1),
+        "sharded_multi_worker_packets_per_s": round(multi_pps, 1),
+        "multi_vs_1_worker_scaling": round(scaling, 2),
+        "min_scaling_floor": MIN_SCALING,
+        "single_process_reference_packets_per_s": streaming_reference,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{_ARTIFACT_NAME}.json").write_text(json.dumps(payload, indent=2) + "\n")
+    save_artifact(
+        _ARTIFACT_NAME,
+        "\n".join(
+            [
+                f"Sharded monitor throughput ({TRACE_DURATION_S:.0f}s, {N_FLOWS}-flow synthetic trace, {_CPUS} CPUs)",
+                f"  packets:                 {n_packets}",
+                f"  single-process engine:   {single_pps:12.0f} packets/s",
+                f"  sharded, 1 worker:       {one_worker_pps:12.0f} packets/s",
+                f"  sharded, {MULTI_WORKERS} workers:      {multi_pps:12.0f} packets/s",
+                f"  multi-vs-1 scaling:      {scaling:12.2f}x  (floor: {MIN_SCALING}x)",
+            ]
+        ),
+    )
+    assert multi_pps > 0 and one_worker_pps > 0
+    assert scaling >= MIN_SCALING, (
+        f"{MULTI_WORKERS}-worker sharded monitor only {scaling:.2f}x the 1-worker "
+        f"throughput (floor {MIN_SCALING}x on {_CPUS} CPUs)"
+    )

@@ -1,0 +1,103 @@
+"""Scale-out workflow: shard a many-flow capture across N worker processes.
+
+``streaming_monitor.py`` shows one engine handling a handful of concurrent
+sessions.  A vantage point in front of thousands of households needs more
+than one core, and the per-flow streams are independent by design -- so the
+cluster layer simply partitions flows across worker processes:
+
+* a :class:`repro.FlowShardRouter` hash-routes packets by canonical 5-tuple,
+  so every packet of a call lands on the same worker;
+* each worker rebuilds the pipeline from the ``QoEPipeline.save`` payload
+  (the same file a deployment site would load) and runs its own streaming
+  engine, batching ML inference across flows whose windows close in the
+  same tick;
+* a :class:`repro.FanInSink` merges the per-shard estimate streams back
+  into one deterministically-ordered stream, feeding ordinary sinks that
+  never learn the run was sharded.
+
+The output is estimate-for-estimate identical to the single-process
+``QoEMonitor`` -- swap ``ShardedQoEMonitor(n_workers=...)`` in and nothing
+downstream changes.
+
+Run with:  python examples/sharded_monitor.py [n_workers]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import QoEPipeline, ShardedQoEMonitor, SummarySink
+from repro.net.packet import IPv4Header, Packet, UDPHeader
+
+
+def synthetic_vantage_trace(n_flows: int = 12, duration_s: float = 20.0) -> list[Packet]:
+    """Interleaved VCA-like downlinks for ``n_flows`` concurrent households.
+
+    Each flow sends ~25 fps video bursts of 2-4 fragments; a third of the
+    flows degrade halfway through (lower rate, smaller frames), which the
+    per-flow summaries should surface.
+    """
+    flows: list[list[Packet]] = []
+    for index in range(n_flows):
+        rng = np.random.default_rng(1000 + index)
+        ip = IPv4Header(src="192.0.2.10", dst=f"10.0.{index // 250}.{index % 250 + 1}")
+        udp = UDPHeader(src_port=3478, dst_port=50000 + index)
+        degraded = index % 3 == 0
+        packets: list[Packet] = []
+        t = float(rng.uniform(0.0, 0.05))
+        while t < duration_s:
+            slow = degraded and t > duration_s / 2
+            size = int(rng.integers(300, 520)) if slow else int(rng.integers(700, 1200))
+            for i in range(int(rng.integers(2, 5))):
+                packets.append(Packet(timestamp=t + i * 0.0008, ip=ip, udp=udp, payload_size=size))
+            t += float(rng.normal(0.09 if slow else 0.04, 0.004))
+        flows.append(packets)
+    return sorted((p for flow in flows for p in flow), key=lambda p: p.timestamp)
+
+
+def main() -> None:
+    n_workers = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    packets = synthetic_vantage_trace()
+    pipeline = QoEPipeline.for_vca("teams")  # heuristic mode; train + save for ML
+
+    summary = SummarySink(degraded_fps_threshold=18.0)
+    monitor = ShardedQoEMonitor(
+        pipeline,
+        source=iter(packets),
+        sinks=summary,
+        n_workers=n_workers,
+    )
+    print(f"Sharding {len(packets)} packets across {n_workers} workers ...\n")
+    report = monitor.run()
+
+    print(f"Per-shard load (router = CRC-32 of canonical 5-tuple, {n_workers} shards):")
+    for shard_id, stats in enumerate(monitor.shard_stats):
+        print(
+            f"  shard {shard_id}: {stats.get('n_flows', 0):3d} flows  "
+            f"{stats.get('n_packets', 0):6d} packets"
+        )
+
+    print("\nMerged per-flow summary (deterministic fan-in order):")
+    for flow, stats in sorted(summary.summary().items(), key=lambda kv: kv[0].dst_port):
+        flag = "  <-- degraded" if stats.degraded_fraction > 0.2 else ""
+        print(
+            f"  {flow.dst:<11} :{flow.dst_port}  windows={stats.windows:3d}  "
+            f"mean_fps={stats.mean_frame_rate:5.1f}  "
+            f"degraded={stats.degraded_fraction:5.1%}{flag}"
+        )
+
+    print(
+        f"\nProcessed {report.packets_consumed} packets / {report.flows_seen} flows "
+        f"in {report.wall_time_s:.2f}s ({report.packets_per_s:,.0f} packets/s); "
+        f"{report.n_estimates} estimates."
+    )
+    print(
+        "Every estimate is identical to a single-process QoEMonitor run -- "
+        "only the wall-clock changes with n_workers."
+    )
+
+
+if __name__ == "__main__":
+    main()

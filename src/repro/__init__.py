@@ -40,6 +40,7 @@ from repro.core.pipeline import PipelineEstimate, QoEPipeline
 from repro.core.streaming import StreamEstimate, StreamingQoEPipeline
 from repro.core.estimators import IPUDPMLEstimator, RTPMLEstimator
 from repro.monitor import MonitorReport, QoEMonitor
+from repro.cluster import FanInSink, FlowShardRouter, ShardedQoEMonitor
 from repro.sources import (
     IteratorSource,
     MergedSource,
@@ -78,6 +79,9 @@ __all__ = [
     "StreamEstimate",
     "QoEMonitor",
     "MonitorReport",
+    "ShardedQoEMonitor",
+    "FlowShardRouter",
+    "FanInSink",
     "PacketSource",
     "IteratorSource",
     "TraceSource",

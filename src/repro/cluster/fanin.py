@@ -1,0 +1,152 @@
+"""Ordered fan-in of per-shard estimate streams.
+
+Each shard worker emits estimates in its own emission order; downstream
+sinks want *one* stream in a deterministic order.  :class:`FanInSink`
+merges the per-shard streams using the same watermark idea the engine uses
+for windows: a shard's batches carry a **low watermark** -- a lower bound on
+the ``window_start`` of anything it could still emit (see
+:meth:`StreamingQoEPipeline.low_watermark
+<repro.core.streaming.StreamingQoEPipeline.low_watermark>`) -- and the
+fan-in releases a buffered estimate only once *every* live shard's watermark
+has passed it.  Released estimates are ordered by ``(window_start,
+flow key)``, which is a total, run-independent order (one flow closes each
+window at most once), so the merged stream is identical no matter how the
+shards' messages interleave.
+
+**Ordering contract.**  The output is globally sorted by ``(window_start,
+flow)`` provided every shard honours its watermarks, which holds whenever
+cross-flow disorder in the source stays within the engine's
+``new_flow_slack_s`` bound.  A violating (pathologically disordered) source
+degrades only the *order* of the late estimate -- it is still delivered
+exactly once.
+
+With watermarks flowing (the sharded monitor's mode), memory is
+O(in-flight window span x flows), not O(run): estimates leave the buffer as
+soon as the slowest shard's watermark passes them.  Without watermarks --
+including the plain single-stream ``emit`` mode -- everything is buffered
+and ordered at :meth:`~FanInSink.close`, which costs O(run) memory like a
+:class:`~repro.sinks.base.CollectorSink`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.streaming import StreamEstimate
+from repro.net.flows import FlowKey
+from repro.sinks.base import EstimateSink
+
+__all__ = ["FanInSink", "flow_sort_key"]
+
+
+def flow_sort_key(flow: FlowKey | None) -> tuple:
+    """A total order over flow keys (``None`` -- single-flow mode -- first)."""
+    if flow is None:
+        return (0,)
+    return (1, flow.src, flow.src_port, flow.dst, flow.dst_port, flow.protocol)
+
+
+def _estimate_sort_key(item: StreamEstimate) -> tuple:
+    return (item.estimate.window_start, flow_sort_key(item.flow))
+
+
+class FanInSink(EstimateSink):
+    """Merge ``n_shards`` estimate streams into one ordered stream.
+
+    Downstream can be any existing :class:`~repro.sinks.base.EstimateSink`
+    (or several); they observe a single monitor-like stream and never learn
+    the run was sharded.  The per-shard interface is
+    :meth:`accept` (buffer a batch + raise that shard's watermark) and
+    :meth:`finish` (shard exhausted); :meth:`close` flushes whatever is left
+    in deterministic order and closes the downstream sinks.
+
+    Also usable as a plain single-stream sink (``emit`` maps to shard 0
+    with no watermark): the whole stream is buffered and sorted at
+    ``close`` -- O(run) memory, like a collector -- which makes an unsharded
+    monitor's output order bit-compatible with a sharded one's.
+    """
+
+    def __init__(self, sinks=(), n_shards: int = 1) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+        if hasattr(sinks, "emit"):  # a single sink was passed
+            sinks = (sinks,)
+        self.sinks = tuple(sinks)
+        self.n_shards = n_shards
+        self._buffers: list[list[StreamEstimate]] = [[] for _ in range(n_shards)]
+        self._watermarks: list[float] = [-math.inf] * n_shards
+        self._finished: list[bool] = [False] * n_shards
+        self.records_released = 0
+        self._closed = False
+
+    # -- per-shard input -------------------------------------------------------
+
+    def accept(
+        self,
+        shard_id: int,
+        items: list[StreamEstimate],
+        low_watermark: float | None = None,
+    ) -> None:
+        """Buffer one batch from ``shard_id`` and advance its watermark.
+
+        ``low_watermark`` is the shard's bound on future emissions; ``None``
+        leaves the previous bound in place.  Watermarks never move backwards
+        (a stale bound cannot un-release anything).
+        """
+        self._check_shard(shard_id)
+        self._buffers[shard_id].extend(items)
+        if low_watermark is not None and low_watermark > self._watermarks[shard_id]:
+            self._watermarks[shard_id] = low_watermark
+        self._release()
+
+    def finish(self, shard_id: int) -> None:
+        """Mark ``shard_id`` exhausted: it holds back the merge no longer."""
+        self._check_shard(shard_id)
+        self._finished[shard_id] = True
+        self._watermarks[shard_id] = math.inf
+        self._release()
+
+    def emit(self, item: StreamEstimate) -> None:
+        """Single-stream sink compatibility: everything arrives on shard 0."""
+        self.accept(0, [item])
+
+    def close(self) -> None:
+        """Flush remaining buffered estimates (ordered) and close downstream."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard_id in range(self.n_shards):
+            self._finished[shard_id] = True
+            self._watermarks[shard_id] = math.inf
+        self._release()
+        for sink in self.sinks:
+            sink.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_shard(self, shard_id: int) -> None:
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(f"shard_id {shard_id} out of range for {self.n_shards} shards")
+        if self._closed:
+            raise RuntimeError("FanInSink is closed")
+
+    def _release(self) -> None:
+        threshold = min(self._watermarks)
+        if threshold == -math.inf:
+            return
+        ready: list[StreamEstimate] = []
+        for buffer in self._buffers:
+            kept: list[StreamEstimate] = []
+            for item in buffer:
+                if item.estimate.window_start < threshold:
+                    ready.append(item)
+                else:
+                    kept.append(item)
+            buffer[:] = kept
+        if not ready:
+            return
+        ready.sort(key=_estimate_sort_key)
+        for item in ready:
+            for sink in self.sinks:
+                sink.emit(item)
+        self.records_released += len(ready)

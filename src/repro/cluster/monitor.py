@@ -1,0 +1,278 @@
+"""The sharded monitor facade: N engines behind one router and one fan-in.
+
+:class:`ShardedQoEMonitor` has the same surface as
+:class:`~repro.monitor.QoEMonitor` -- construct with a pipeline, a source
+and sinks, call :meth:`run`, get a :class:`~repro.monitor.MonitorReport` --
+but executes as an N-worker deployment:
+
+* the parent consumes the source and routes packets through a
+  :class:`~repro.cluster.router.FlowShardRouter` (hash of the canonical
+  5-tuple), batching them into per-shard chunks;
+* each :class:`~repro.cluster.worker.ShardWorker` process runs its own
+  :class:`~repro.core.streaming.StreamingQoEPipeline`, rebuilt from the
+  ``QoEPipeline.save`` payload, with cross-flow **tick-batched inference**
+  (one vectorized forest call per chunk);
+* a :class:`~repro.cluster.fanin.FanInSink` merges the per-shard estimate
+  streams back into one watermark-ordered stream feeding the caller's
+  ordinary sinks.
+
+**Determinism contract.**  The estimates are exactly those the
+single-process monitor produces (same flows, same windows, bit-identical
+values -- per-flow streams are independent, and batched inference is
+row-independent), delivered in the fan-in order ``(window_start, flow)``.
+Output is therefore identical for any worker count, including 1, and
+repeatable across runs.
+
+Back-pressure and liveness: per-shard input queues are bounded, the parent
+drains worker output whenever it would block on input, and a worker that
+dies without reporting raises instead of hanging the run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue as queue_module
+from pathlib import Path
+from time import perf_counter
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import QoEPipeline
+from repro.cluster.fanin import FanInSink
+from repro.cluster.router import FlowShardRouter
+from repro.cluster.worker import ShardWorker
+from repro.monitor import MonitorReport
+from repro.sources.base import PacketSource, as_source
+
+__all__ = ["ShardedQoEMonitor"]
+
+
+class ShardedQoEMonitor:
+    """Run a trained-or-heuristic pipeline as an N-worker sharded deployment.
+
+    Parameters
+    ----------
+    pipeline:
+        The estimator stack; it is serialized via
+        :meth:`~repro.core.pipeline.QoEPipeline.to_payload` and rebuilt
+        inside every worker.
+    source:
+        Anything :func:`~repro.sources.base.as_source` understands -- the
+        same sources a :class:`~repro.monitor.QoEMonitor` takes, unchanged.
+    sinks:
+        A sink or sequence of sinks receiving the merged estimate stream.
+    config:
+        Overrides ``pipeline.config`` for the workers (e.g. enabling
+        ``idle_timeout_s``).  Must keep ``demux_flows=True``: sharding *is*
+        flow demultiplexing.
+    n_workers:
+        Shard count.  ``1`` is a valid (and useful) degenerate case: same
+        output, one worker process.
+    chunk_size:
+        Packets per routed chunk.  A chunk is both the pickling unit
+        (amortizing IPC overhead) and the inference tick (windows closing in
+        the same chunk share one vectorized forest call).
+    start_method:
+        ``multiprocessing`` start method; the default ``"spawn"`` is the
+        portable choice and what the workers are built to be safe under.
+    new_flow_slack_s:
+        Assumed bound on cross-flow disorder in the source, used for fan-in
+        watermarks (default: two windows).  Larger values delay fan-in
+        release; smaller values risk out-of-order delivery on skewed
+        sources.
+    """
+
+    def __init__(
+        self,
+        pipeline: QoEPipeline,
+        source,
+        sinks=(),
+        config: PipelineConfig | None = None,
+        n_workers: int = 2,
+        chunk_size: int = 256,
+        start_method: str = "spawn",
+        new_flow_slack_s: float | None = None,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        self.pipeline = pipeline
+        self.source: PacketSource = as_source(source)
+        if hasattr(sinks, "emit"):  # a single sink was passed
+            sinks = (sinks,)
+        self.sinks = tuple(sinks)
+        self.config = config if config is not None else pipeline.config
+        if not self.config.demux_flows:
+            raise ValueError(
+                "a sharded monitor requires demux_flows=True (sharding partitions flows); "
+                "use QoEMonitor(batch_grid=True) for single-session batch scoring"
+            )
+        self.router = FlowShardRouter(n_workers)
+        self.n_workers = n_workers
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self.new_flow_slack_s = new_flow_slack_s
+        #: Per-shard ``{"n_packets", "n_flows", "n_evicted_flows"}`` of the
+        #: completed run (index = shard id).
+        self.shard_stats: list[dict] = []
+        self._ran = False
+
+    # -- construction shortcuts ------------------------------------------------
+
+    @classmethod
+    def for_vca(cls, vca: str, source, sinks=(), config: PipelineConfig | None = None, **kwargs) -> "ShardedQoEMonitor":
+        """An untrained (heuristic-backed) sharded monitor for ``vca``."""
+        return cls(QoEPipeline.for_vca(vca, config=config), source, sinks, **kwargs)
+
+    @classmethod
+    def from_model(
+        cls,
+        path: str | Path,
+        source,
+        sinks=(),
+        config: PipelineConfig | None = None,
+        **kwargs,
+    ) -> "ShardedQoEMonitor":
+        """Deploy a model trained elsewhere across N local workers."""
+        return cls(QoEPipeline.load(path), source, sinks=sinks, config=config, **kwargs)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> MonitorReport:
+        """Consume the source to exhaustion across the workers.
+
+        One-shot, like :meth:`QoEMonitor.run <repro.monitor.QoEMonitor.run>`:
+        sinks are closed at the end, so construct a new monitor (with fresh
+        sinks) for the next capture.
+        """
+        if self._ran:
+            raise RuntimeError(
+                "this monitor already ran and closed its sinks; construct a new "
+                "ShardedQoEMonitor (with fresh sinks) for the next capture"
+            )
+        self._ran = True
+        started = perf_counter()
+        ctx = multiprocessing.get_context(self.start_method)
+        out_queue = ctx.Queue()
+        payload_json = json.dumps(self.pipeline.to_payload())
+        workers = [
+            ShardWorker(
+                shard_id,
+                payload_json,
+                self.config,
+                ctx,
+                out_queue,
+                new_flow_slack_s=self.new_flow_slack_s,
+            )
+            for shard_id in range(self.n_workers)
+        ]
+        fan_in = FanInSink(self.sinks, n_shards=self.n_workers)
+        self._out_queue = out_queue
+        self._fan_in = fan_in
+        self._workers = workers
+        self._done = [False] * self.n_workers
+        self._stats: list[dict | None] = [None] * self.n_workers
+        n_packets = 0
+        try:
+            for worker in workers:
+                worker.start()
+            buffers: list[list] = [[] for _ in range(self.n_workers)]
+            for packet in self.source:
+                n_packets += 1
+                shard_id = self.router.shard_of(packet)
+                buffer = buffers[shard_id]
+                buffer.append(packet)
+                if len(buffer) >= self.chunk_size:
+                    self._send(workers[shard_id], ("chunk", buffer))
+                    buffers[shard_id] = []
+                    # Drain whatever the workers produced so far: estimates
+                    # reach the sinks while the run is in flight (live
+                    # scrapes work) and parent memory stays O(in-flight),
+                    # not O(all estimates of the capture).
+                    self._pump()
+            for shard_id, buffer in enumerate(buffers):
+                if buffer:
+                    self._send(workers[shard_id], ("chunk", buffer))
+            for worker in workers:
+                self._send(worker, ("stop",))
+            self._drain_until_done()
+        finally:
+            # Merge whatever arrived, close the caller's sinks exactly once,
+            # and never leave worker processes (or their queue feeder
+            # threads) behind to block interpreter exit.
+            fan_in.close()
+            for worker in workers:
+                worker.terminate()
+                worker.join(timeout=5.0)
+                worker.release_queues()
+            out_queue.cancel_join_thread()
+            out_queue.close()
+        self.shard_stats = [stats if stats is not None else {} for stats in self._stats]
+        return MonitorReport(
+            n_packets=n_packets,
+            n_estimates=fan_in.records_released,
+            n_flows=sum(stats.get("n_flows", 0) for stats in self.shard_stats),
+            n_evicted_flows=sum(stats.get("n_evicted_flows", 0) for stats in self.shard_stats),
+            wall_time_s=perf_counter() - started,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _send(self, worker: ShardWorker, message) -> None:
+        """Bounded put that keeps draining output, so back-pressure cannot
+        deadlock the parent against a worker blocked on its own output."""
+        while True:
+            try:
+                worker.in_queue.put(message, timeout=0.05)
+                return
+            except queue_module.Full:
+                self._pump()
+                if not worker.alive and not self._done[worker.shard_id]:
+                    raise RuntimeError(
+                        f"shard worker {worker.shard_id} died (exit code "
+                        f"{worker.process.exitcode}) before accepting input"
+                    ) from None
+
+    def _pump(self) -> None:
+        """Process every worker message currently available, without blocking."""
+        while True:
+            try:
+                message = self._out_queue.get_nowait()
+            except queue_module.Empty:
+                return
+            self._handle(message)
+
+    def _drain_until_done(self) -> None:
+        """Block until every shard reported ``done`` (or a failure surfaces)."""
+        while not all(self._done):
+            try:
+                message = self._out_queue.get(timeout=0.1)
+            except queue_module.Empty:
+                for worker in self._workers:
+                    if not self._done[worker.shard_id] and not worker.alive:
+                        # One last non-blocking sweep: the death may have
+                        # raced a final message into the queue.
+                        self._pump()
+                        if not self._done[worker.shard_id]:
+                            raise RuntimeError(
+                                f"shard worker {worker.shard_id} exited (code "
+                                f"{worker.process.exitcode}) without reporting results"
+                            )
+                continue
+            self._handle(message)
+
+    def _handle(self, message) -> None:
+        kind = message[0]
+        if kind == "progress":
+            _, shard_id, items, low_watermark = message
+            self._fan_in.accept(shard_id, items, low_watermark)
+        elif kind == "done":
+            _, shard_id, items, stats = message
+            self._fan_in.accept(shard_id, items)
+            self._fan_in.finish(shard_id)
+            self._done[shard_id] = True
+            self._stats[shard_id] = stats
+        elif kind == "error":
+            _, shard_id, trace = message
+            raise RuntimeError(f"shard worker {shard_id} failed:\n{trace}")
+        else:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unknown worker message {message[0]!r}")

@@ -1,0 +1,55 @@
+"""Deterministic flow -> shard partitioning for the sharded monitor.
+
+The per-flow streams of the engine are fully independent (PR 1 made them
+so on purpose), which makes horizontal scale-out a routing problem: send
+every packet of a flow to the same worker and N workers behave exactly like
+one.  :class:`FlowShardRouter` is that routing function.
+
+Two properties matter and both are load-bearing:
+
+* **Canonical keys.**  Packets are keyed by the *bidirectional* canonical
+  form of their 5-tuple (:meth:`~repro.net.flows.FlowKey.bidirectional`), so
+  the two unidirectional halves of one call land on the same shard.  The
+  engine still demultiplexes them into separate unidirectional streams --
+  co-locating them just keeps a future bidirectional feature (RTT, ack
+  correlation) shard-local.
+* **Stable hashing.**  The shard index comes from CRC-32 over a canonical
+  byte encoding of the key, *not* Python's ``hash()``: the builtin string
+  hash is salted per process (PYTHONHASHSEED), and worker processes, restarts
+  and replicas must all agree where a flow lives.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.net.flows import FlowKey, five_tuple
+from repro.net.packet import Packet
+
+__all__ = ["FlowShardRouter"]
+
+
+class FlowShardRouter:
+    """Hash-partition packets onto ``n_shards`` by canonical 5-tuple.
+
+    Stateless and deterministic: the same flow maps to the same shard in
+    every process, on every run, for a given shard count.
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+        self.n_shards = n_shards
+
+    def shard_of_key(self, key: FlowKey) -> int:
+        """Shard index of a (unidirectional or canonical) flow key."""
+        canonical = key.bidirectional()[0]
+        encoded = (
+            f"{canonical.src}|{canonical.src_port}|"
+            f"{canonical.dst}|{canonical.dst_port}|{canonical.protocol}"
+        ).encode()
+        return zlib.crc32(encoded) % self.n_shards
+
+    def shard_of(self, packet: Packet) -> int:
+        """Shard index ``packet`` belongs to."""
+        return self.shard_of_key(five_tuple(packet))

@@ -1,0 +1,168 @@
+"""Shard worker processes: one streaming engine per shard.
+
+A worker is deliberately *not* constructed from a live ``QoEPipeline``
+object: it receives the JSON payload of :meth:`QoEPipeline.to_payload
+<repro.core.pipeline.QoEPipeline.to_payload>` -- the exact bytes
+``QoEPipeline.save`` writes to disk -- plus a
+:class:`~repro.core.config.PipelineConfig` dict, and rebuilds the pipeline
+on its side of the process boundary.  That keeps workers **spawn-safe**
+(everything crossing the boundary is plain JSON-able data and packets, no
+trees/forests/closures to pickle) and exercises the persistence format as
+the cluster's wire format: a worker is indistinguishable from a deployment
+site that loaded the model from disk, and reloaded forests predict
+bit-identically by the PR 2 persistence contract.
+
+Protocol (all messages are plain tuples over ``multiprocessing`` queues)::
+
+    parent -> worker:  ("chunk", [Packet, ...])        one routed tick
+                       ("stop",)                       end of source
+    worker -> parent:  ("progress", shard_id, [StreamEstimate], low_watermark)
+                       ("done", shard_id, [StreamEstimate], stats dict)
+                       ("error", shard_id, traceback string)
+
+Inside the worker each chunk is one inference tick: windows that close in
+it -- across all of the shard's flows -- are buffered and pushed through the
+per-metric forests in a single vectorized call
+(:meth:`StreamingQoEPipeline.push_chunk
+<repro.core.streaming.StreamingQoEPipeline.push_chunk>`), which is where
+cross-flow batched inference happens.  Idle eviction runs the same
+amortized sweep as :class:`~repro.monitor.QoEMonitor`, driven by the
+shard's stream time.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import QoEPipeline
+from repro.core.streaming import StreamingQoEPipeline
+from repro.monitor import IdleEvictionSchedule
+
+__all__ = ["ShardWorker", "shard_worker_main"]
+
+#: Default bound on assumed cross-flow source disorder (seconds) used for the
+#: fan-in watermarks; the cross-flow analogue of the engine's per-flow
+#: ``reorder_depth``.  ``None`` in the worker means "derive from the config".
+DEFAULT_NEW_FLOW_SLACK_WINDOWS = 2.0
+
+
+def shard_worker_main(
+    shard_id: int,
+    pipeline_payload: str,
+    config_dict: dict | None,
+    new_flow_slack_s: float | None,
+    in_queue,
+    out_queue,
+) -> None:
+    """Worker process entry point (module-level, hence spawn-picklable)."""
+    try:
+        pipeline = QoEPipeline.from_payload(json.loads(pipeline_payload))
+        config = (
+            PipelineConfig.from_dict(config_dict) if config_dict is not None else pipeline.config
+        )
+        if new_flow_slack_s is None:
+            new_flow_slack_s = DEFAULT_NEW_FLOW_SLACK_WINDOWS * config.window_s
+        engine = StreamingQoEPipeline(pipeline, config=config)
+        idle_timeout = config.idle_timeout_s
+        eviction = IdleEvictionSchedule(idle_timeout)
+        newest_ts: float | None = None
+        n_packets = 0
+        n_evicted = 0
+        evicted_keys: set = set()
+        while True:
+            message = in_queue.get()
+            if message[0] == "stop":
+                break
+            chunk = message[1]
+            n_packets += len(chunk)
+            emitted = engine.push_chunk(chunk)
+            if idle_timeout is not None and chunk:
+                for packet in chunk:
+                    if newest_ts is None or packet.timestamp > newest_ts:
+                        newest_ts = packet.timestamp
+                if eviction.due(newest_ts):
+                    evicted = engine.evict_idle(idle_timeout)
+                    sweep_flows = {item.flow for item in evicted}
+                    n_evicted += len(sweep_flows)
+                    evicted_keys.update(sweep_flows)
+                    emitted.extend(evicted)
+            out_queue.put(
+                ("progress", shard_id, emitted, engine.low_watermark(new_flow_slack_s))
+            )
+        tail = engine.flush()
+        stats = {
+            "n_packets": n_packets,
+            "n_flows": len(evicted_keys | set(engine.flows)),
+            "n_evicted_flows": n_evicted,
+        }
+        out_queue.put(("done", shard_id, tail, stats))
+    except BaseException:
+        out_queue.put(("error", shard_id, traceback.format_exc()))
+
+
+class ShardWorker:
+    """Parent-side handle of one shard worker process.
+
+    Owns the shard's bounded input queue (back-pressure: a slow shard slows
+    the router rather than ballooning memory) and the process object.  All
+    construction arguments are the wire-format pieces
+    ``shard_worker_main`` needs; nothing process-unsafe is retained.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        pipeline_payload: str,
+        config: PipelineConfig | None,
+        ctx,
+        out_queue,
+        queue_depth: int = 8,
+        new_flow_slack_s: float | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.in_queue = ctx.Queue(maxsize=queue_depth)
+        self.process = ctx.Process(
+            target=shard_worker_main,
+            args=(
+                shard_id,
+                pipeline_payload,
+                config.to_dict() if config is not None else None,
+                new_flow_slack_s,
+                self.in_queue,
+                out_queue,
+            ),
+            daemon=True,
+            name=f"qoe-shard-{shard_id}",
+        )
+
+        self._started = False
+
+    def start(self) -> None:
+        self.process.start()
+        self._started = True
+
+    @property
+    def alive(self) -> bool:
+        return self._started and self.process.is_alive()
+
+    def join(self, timeout: float | None = None) -> None:
+        # Guarded: cleanup after a failed start() (e.g. the spawn bootstrap
+        # guard firing in a __main__-less script) must not cascade.
+        if self._started:
+            self.process.join(timeout)
+
+    def terminate(self) -> None:
+        if self._started and self.process.is_alive():
+            self.process.terminate()
+
+    def release_queues(self) -> None:
+        """Detach from the input queue without waiting for its feeder thread.
+
+        After an abort the worker may never drain its queue; letting the
+        feeder thread flush to a full pipe with no reader would block the
+        parent's interpreter exit.  Unsent chunks are irrelevant by then.
+        """
+        self.in_queue.cancel_join_thread()
+        self.in_queue.close()

@@ -215,6 +215,20 @@ class BaseMLEstimator:
         X = self.feature_matrix(windows)
         return self.predict_rows(X, [window.start for window in windows])
 
+    def predict_many(self, feature_rows, window_starts) -> list[MLEstimateRow]:
+        """Batched inference over per-window feature vectors.
+
+        ``feature_rows`` is a sequence of 1-D feature vectors (one per
+        window, not necessarily from the same flow); each per-metric forest
+        runs once over the stacked matrix instead of once per window.  Row
+        independence in the trees makes the result bit-identical to calling
+        :meth:`predict_rows` per row -- pinned by the cluster tests -- so
+        callers may batch freely for throughput without changing estimates.
+        """
+        if len(feature_rows) == 0:
+            return []
+        return self.predict_rows(np.vstack(feature_rows), list(window_starts))
+
     # -- persistence --------------------------------------------------------------
 
     def to_dict(self) -> dict:

@@ -168,15 +168,17 @@ class QoEPipeline:
 
     # -- persistence ---------------------------------------------------------------
 
-    def save(self, path: str | Path) -> Path:
-        """Persist the pipeline (config + trained forests) as versioned JSON.
+    def to_payload(self) -> dict:
+        """The saved-pipeline payload as a plain dict (the wire format).
 
-        The file fully reconstructs the deployment: VCA profile name,
+        This is exactly what :meth:`save` writes to disk: VCA profile name,
         :class:`~repro.core.config.PipelineConfig`, and -- when trained --
-        every per-metric forest plus the feature schema, such that
-        :meth:`load` reproduces predictions bit-identically.
+        every per-metric forest plus the feature schema.  Besides backing the
+        file round-trip, it is the serialization the sharded monitor ships to
+        its worker processes, so a worker reconstructs the same deployment a
+        remote site would load from disk.
         """
-        payload = {
+        return {
             "format": PIPELINE_FORMAT,
             "version": PIPELINE_FORMAT_VERSION,
             "vca": self.profile.name,
@@ -184,17 +186,13 @@ class QoEPipeline:
             "trained": self._trained,
             "model": self.ml.to_dict() if self._trained else None,
         }
-        path = Path(path)
-        path.write_text(json.dumps(payload))
-        return path
 
     @classmethod
-    def load(cls, path: str | Path) -> "QoEPipeline":
-        """Reconstruct a pipeline saved with :meth:`save`."""
-        data = json.loads(Path(path).read_text())
+    def from_payload(cls, data: dict) -> "QoEPipeline":
+        """Inverse of :meth:`to_payload` (bit-identical predictions)."""
         if data.get("format") != PIPELINE_FORMAT:
             raise ValueError(
-                f"{path} is not a saved QoE pipeline (format {data.get('format')!r})"
+                f"not a saved QoE pipeline (format {data.get('format')!r})"
             )
         if data.get("version") != PIPELINE_FORMAT_VERSION:
             raise ValueError(
@@ -206,6 +204,24 @@ class QoEPipeline:
             pipeline.ml = IPUDPMLEstimator.from_dict(data["model"])
             pipeline._trained = True
         return pipeline
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the pipeline (config + trained forests) as versioned JSON.
+
+        The file fully reconstructs the deployment (see :meth:`to_payload`),
+        such that :meth:`load` reproduces predictions bit-identically.
+        """
+        path = Path(path)
+        path.write_text(json.dumps(self.to_payload()))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QoEPipeline":
+        """Reconstruct a pipeline saved with :meth:`save`."""
+        try:
+            return cls.from_payload(json.loads(Path(path).read_text()))
+        except ValueError as error:
+            raise ValueError(f"{path}: {error}") from None
 
     # -- estimation ----------------------------------------------------------------
 

@@ -32,6 +32,7 @@ import math
 import warnings
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -133,6 +134,11 @@ class _FlowStream:
     @property
     def open_windows(self) -> int:
         return len(self._frame_buckets) + (1 if self._acc is not None else 0)
+
+    @property
+    def next_window_start(self) -> float:
+        """Start of the earliest window this flow could still emit."""
+        return self.start + self._next_window * self.window_s
 
     # -- streaming -------------------------------------------------------------
 
@@ -376,6 +382,13 @@ class StreamingQoEPipeline:
         # ``(features, window_start)`` here instead of predicting per window,
         # so ``collect(batch=True)`` can run the forests once, vectorized.
         self._feature_rows: list[tuple[np.ndarray, float]] | None = None
+        # Tick-batch mode: when set (inside push_chunk), trained-mode windows
+        # append ``(flow, features, window_start)`` here and inference runs
+        # once per tick over all flows whose windows closed in it.
+        self._tick_rows: list[tuple[FlowKey | None, np.ndarray, float]] | None = None
+        # Estimates of a tick whose chunk iterator raised: the windows are
+        # already closed, so they are delivered by the next chunk or flush.
+        self._held_estimates: list[StreamEstimate] = []
 
     @classmethod
     def for_vca(cls, vca: str, window_s: int = 1, **kwargs) -> "StreamingQoEPipeline":
@@ -421,10 +434,59 @@ class StreamingQoEPipeline:
             key = None
         stream = self._streams.get(key)
         if stream is None:
-            stream = self._make_stream()
+            stream = self._make_stream(key)
             self._streams[key] = stream
             self._flow_order.append(key)
         return [StreamEstimate(flow=key, estimate=e) for e in stream.push(packet)]
+
+    def push_chunk(self, packets: Iterable[Packet]) -> list[StreamEstimate]:
+        """Feed a chunk of packets as one inference *tick*.
+
+        In trained mode, windows that close anywhere in the chunk -- across
+        all flows -- defer their per-window inference; at the end of the
+        chunk the deferred feature vectors are stacked and pushed through
+        each per-metric forest in a single vectorized call
+        (:meth:`~repro.core.estimators.BaseMLEstimator.predict_many`).  Tree
+        traversal is row-independent, so the estimates are bit-identical to
+        per-window :meth:`push` inference and are returned in the same
+        emission order; only the inference overhead is amortized.  This is
+        the hot loop of a sharded worker, where many concurrent flows close
+        windows in the same tick.
+
+        In heuristic (untrained) mode there is no inference to batch and the
+        call is exactly ``push`` per packet.
+
+        If the packet iterator raises mid-chunk, windows that had already
+        closed are not lost: their (resolved) estimates are held and
+        delivered at the front of the next ``push_chunk`` or ``flush`` call,
+        matching ``push``'s property that a closed window's estimate always
+        reaches the caller.
+        """
+        emitted = self._held_estimates
+        self._held_estimates = []
+        if not self.trained or self._feature_rows is not None:
+            try:
+                for packet in packets:
+                    emitted.extend(self.push(packet))
+            except BaseException:
+                self._held_estimates = emitted
+                raise
+            return emitted
+        if self._tick_rows is not None:
+            self._held_estimates = emitted
+            raise RuntimeError("push_chunk is not reentrant")
+        self._tick_rows = []
+        try:
+            for packet in packets:
+                emitted.extend(self.push(packet))
+            emitted.extend(self._flush_tick())
+        except BaseException:
+            emitted.extend(self._flush_tick())
+            self._held_estimates = emitted
+            raise
+        finally:
+            self._tick_rows = None
+        return emitted
 
     def process(self, packets: Iterable[Packet]) -> Iterator[StreamEstimate]:
         """Consume a packet iterator, yielding estimates as windows close."""
@@ -442,7 +504,8 @@ class StreamingQoEPipeline:
         if self._closed:
             return []
         self._closed = True
-        emitted: list[StreamEstimate] = []
+        emitted: list[StreamEstimate] = self._held_estimates
+        self._held_estimates = []
         for key in self._flow_order:
             for estimate in self._streams[key].flush():
                 emitted.append(StreamEstimate(flow=key, estimate=estimate))
@@ -552,9 +615,44 @@ class StreamingQoEPipeline:
         finally:
             self._feature_rows = None
 
+    def low_watermark(self, new_flow_slack_s: float | None = None) -> float | None:
+        """A lower bound on the ``window_start`` of any future estimate.
+
+        Per live flow the bound is exact: windows are emitted in index order,
+        so nothing before ``start + _next_window * window_s`` can ever be
+        emitted again.  A *new* flow, however, enters at its first packet's
+        window minus up to ``backfill_limit`` empty windows, and that first
+        packet can trail the most advanced flow by however disordered the
+        source is across flows.  ``new_flow_slack_s`` caps that assumed
+        cross-flow disorder (the intra-flow analogue is ``reorder_depth``):
+        when given, the bound also covers a hypothetical flow whose first
+        packet arrives ``new_flow_slack_s`` behind the newest packet seen --
+        including its back-filled windows (with ``backfill_limit=None`` such
+        a flow back-fills from the grid origin, so the bound is ``start``).
+        Returns ``None`` before any packet has been pushed.  The sharded
+        monitor's fan-in merge orders its output by releasing only estimates
+        below every shard's watermark.
+        """
+        bounds: list[float] = []
+        newest: float | None = None
+        for stream in self._streams.values():
+            bounds.append(stream.next_window_start)
+            if stream.last_seen is not None and (newest is None or stream.last_seen > newest):
+                newest = stream.last_seen
+        if newest is None:
+            return None
+        if new_flow_slack_s is not None:
+            if self.backfill_limit is None:
+                bounds.append(self.start)
+            else:
+                horizon = newest - new_flow_slack_s
+                first = window_index(horizon, self.start, self.window_s) - self.backfill_limit
+                bounds.append(self.start + first * self.window_s)
+        return min(bounds)
+
     # -- internals -------------------------------------------------------------
 
-    def _make_stream(self) -> _FlowStream:
+    def _make_stream(self, key: FlowKey | None) -> _FlowStream:
         # Snapshot the engine's *current* knob values: collect(batch=True)
         # lifts backfill_limit after construction but before the first stream
         # exists, so per-stream configs must be derived lazily.
@@ -568,7 +666,7 @@ class StreamingQoEPipeline:
                 stream_config,
                 classifier=self.pipeline.ml.media_classifier,
                 assembler=None,
-                predict=self._collect_row if self._feature_rows is not None else self._predict_row,
+                predict=partial(self._window_closed, key),
             )
         return _FlowStream(
             stream_config,
@@ -577,20 +675,51 @@ class StreamingQoEPipeline:
             predict=None,
         )
 
-    def _collect_row(self, features: np.ndarray, window_start: float) -> None:
-        """Batch-adapter predict hook: defer inference, remember the features."""
-        assert self._feature_rows is not None
-        self._feature_rows.append((features, window_start))
-        return None
+    def _window_closed(self, key: FlowKey | None, features: np.ndarray, window_start: float):
+        """Trained-mode predict dispatch for one closed window.
+
+        Three behaviours behind one callback: defer to the batch adapter
+        (``collect(batch=True)`` runs the forests once at the end), defer to
+        the current tick (``push_chunk`` batches across flows), or predict
+        immediately (plain ``push``).  Deferred windows return ``None`` so the
+        owning stream emits nothing until the batch is resolved.
+        """
+        if self._feature_rows is not None:
+            self._feature_rows.append((features, window_start))
+            return None
+        if self._tick_rows is not None:
+            self._tick_rows.append((key, features, window_start))
+            return None
+        return self._predict_rows([features], [window_start])[0]
+
+    def _flush_tick(self) -> list[StreamEstimate]:
+        """Resolve the current tick: one vectorized pass over all deferred windows."""
+        rows = self._tick_rows
+        if not rows:
+            return []
+        self._tick_rows = []
+        estimates = self._predict_rows(
+            [features for _, features, _ in rows],
+            [window_start for _, _, window_start in rows],
+        )
+        return [
+            StreamEstimate(flow=key, estimate=estimate)
+            for (key, _, _), estimate in zip(rows, estimates)
+        ]
 
     def _predict_batch(self, rows: list[tuple[np.ndarray, float]]) -> list["PipelineEstimate"]:
         """Vectorized per-metric inference over all collected windows."""
-        from repro.core.pipeline import PipelineEstimate
-
         if not rows:
             return []
-        X = np.vstack([features for features, _ in rows])
-        ml_rows = self.pipeline.ml.predict_rows(X, [window_start for _, window_start in rows])
+        return self._predict_rows(
+            [features for features, _ in rows],
+            [window_start for _, window_start in rows],
+        )
+
+    def _predict_rows(self, feature_rows: list[np.ndarray], window_starts: list[float]) -> list["PipelineEstimate"]:
+        """Run the trained per-metric forests once over ``feature_rows``."""
+        from repro.core.pipeline import PipelineEstimate
+
         return [
             PipelineEstimate(
                 window_start=row.window_start,
@@ -600,9 +729,5 @@ class StreamingQoEPipeline:
                 resolution=row.resolution,
                 source="ml",
             )
-            for row in ml_rows
+            for row in self.pipeline.ml.predict_many(feature_rows, window_starts)
         ]
-
-    def _predict_row(self, features: np.ndarray, window_start: float) -> "PipelineEstimate":
-        """Run the trained per-metric forests on one window's feature vector."""
-        return self._predict_batch([(features, window_start)])[0]

@@ -90,6 +90,19 @@ class _BaseForest:
     def _prepare_targets(self, y: np.ndarray) -> None:
         """Hook used by the classifier to record the label set."""
 
+    def predict_many(self, rows) -> np.ndarray:
+        """Vectorized prediction over a sequence of single-sample vectors.
+
+        Stacks ``rows`` (each a 1-D feature vector) into one design matrix
+        and runs the forest once.  Tree traversal and the per-sample mean /
+        soft-vote are independent across rows, so the result is bit-identical
+        to predicting each row on its own -- this is the cross-flow batched
+        inference entry point used by the sharded monitor's tick batching.
+        """
+        if len(rows) == 0:
+            return np.empty(0)
+        return self.predict(np.vstack(rows))
+
     def _check_fitted(self) -> None:
         if not self.estimators_:
             raise RuntimeError(
@@ -150,13 +163,22 @@ class RandomForestRegressor(_BaseForest):
     kind = "regressor"
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Predict the per-sample mean of the individual tree predictions."""
+        """Predict the per-sample mean of the individual tree predictions.
+
+        The mean is accumulated sequentially in tree order (element-wise)
+        rather than via ``np.mean``, whose pairwise-summation blocking
+        depends on the batch shape: with it, a window predicted alone and
+        the same window predicted inside a batch could differ in the last
+        ulp, breaking the batched-inference bit-identity contract.
+        """
         self._check_fitted()
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X.reshape(1, -1)
-        predictions = np.vstack([tree.predict(X) for tree in self.estimators_])
-        return predictions.mean(axis=0)
+        total = self.estimators_[0].predict(X).astype(float, copy=True)
+        for tree in self.estimators_[1:]:
+            total += tree.predict(X)
+        return total / len(self.estimators_)
 
 
 class RandomForestClassifier(_BaseForest):

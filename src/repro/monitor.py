@@ -36,25 +36,84 @@ flushed and evicted automatically, so a perpetual monitor's memory tracks
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import QoEPipeline
 from repro.core.streaming import StreamEstimate, StreamingQoEPipeline
 from repro.sources.base import PacketSource, as_source
 
-__all__ = ["MonitorReport", "QoEMonitor"]
+__all__ = ["MonitorReport", "QoEMonitor", "IdleEvictionSchedule"]
 
 
 @dataclass(frozen=True)
 class MonitorReport:
-    """What one :meth:`QoEMonitor.run` processed."""
+    """What one monitor run processed.
+
+    Produced with identical semantics by :class:`QoEMonitor` and
+    :class:`~repro.cluster.ShardedQoEMonitor`, so operator tooling reads one
+    report type regardless of deployment shape.
+
+    ``packets_consumed`` / ``flows_seen`` / ``wall_time_s`` are the
+    throughput counters: packets the engine(s) consumed, distinct flows
+    observed (including evicted ones), and wall-clock duration of the run --
+    enough to compute packets/sec (:attr:`packets_per_s`) without a separate
+    benchmark harness.  The first two are operator-facing names for
+    ``n_packets`` / ``n_flows`` (properties, so they cannot drift);
+    ``wall_time_s`` is excluded from equality so two runs over the same
+    capture compare equal.
+    """
 
     n_packets: int
     n_estimates: int
     n_flows: int
     n_evicted_flows: int
+    wall_time_s: float = field(default=0.0, compare=False)
+
+    @property
+    def packets_consumed(self) -> int:
+        """Packets the engine(s) consumed (throughput-counter alias)."""
+        return self.n_packets
+
+    @property
+    def flows_seen(self) -> int:
+        """Distinct flows observed, including evicted ones (alias)."""
+        return self.n_flows
+
+    @property
+    def packets_per_s(self) -> float:
+        """Observed monitor throughput (0.0 when the run was too fast to time)."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.n_packets / self.wall_time_s
+
+
+class IdleEvictionSchedule:
+    """Amortized idle-eviction scheduling, shared by every monitor loop.
+
+    Both :class:`QoEMonitor` (per packet) and the sharded
+    :class:`~repro.cluster.worker.ShardWorker` loop (per chunk) feed stream
+    time in and sweep when :meth:`due` fires: at most one O(live flows)
+    ``evict_idle`` scan per ``idle_timeout_s`` of capture, starting one
+    timeout after the first observation.  One implementation keeps the two
+    loops' eviction timing from drifting apart.
+    """
+
+    def __init__(self, idle_timeout_s: float | None) -> None:
+        self.idle_timeout_s = idle_timeout_s
+        self._next: float | None = None
+
+    def due(self, timestamp: float) -> bool:
+        """Advance stream time; true when an eviction sweep should run now."""
+        if self.idle_timeout_s is None:
+            return False
+        if self._next is None or timestamp >= self._next:
+            was_due = self._next is not None
+            self._next = timestamp + self.idle_timeout_s
+            return was_due
+        return False
 
 
 class QoEMonitor:
@@ -151,11 +210,12 @@ class QoEMonitor:
             )
         self._ran = True
         self.engine = engine = StreamingQoEPipeline(self.pipeline, config=self.config)
+        started = perf_counter()
         if self.batch_grid:
-            return self._run_batch(engine)
+            return self._run_batch(engine, started)
 
         idle_timeout = self.config.idle_timeout_s
-        next_eviction: float | None = None
+        eviction = IdleEvictionSchedule(idle_timeout)
         n_packets = 0
         n_estimates = 0
         n_evicted = 0
@@ -164,17 +224,11 @@ class QoEMonitor:
             for packet in self.source:
                 n_packets += 1
                 n_estimates += self._fanout(engine.push(packet))
-                if idle_timeout is not None:
-                    # Amortized sweep, driven by stream time: at most one
-                    # O(live flows) scan per idle_timeout_s of capture.
-                    if next_eviction is None:
-                        next_eviction = packet.timestamp + idle_timeout
-                    elif packet.timestamp >= next_eviction:
-                        evicted = engine.evict_idle(idle_timeout)
-                        n_evicted += len({item.flow for item in evicted})
-                        flows_seen.update(item.flow for item in evicted)
-                        n_estimates += self._fanout(evicted)
-                        next_eviction = packet.timestamp + idle_timeout
+                if eviction.due(packet.timestamp):
+                    evicted = engine.evict_idle(idle_timeout)
+                    n_evicted += len({item.flow for item in evicted})
+                    flows_seen.update(item.flow for item in evicted)
+                    n_estimates += self._fanout(evicted)
             n_estimates += self._fanout(engine.flush())
         finally:
             for sink in self.sinks:
@@ -185,9 +239,10 @@ class QoEMonitor:
             n_estimates=n_estimates,
             n_flows=len(flows_seen),
             n_evicted_flows=n_evicted,
+            wall_time_s=perf_counter() - started,
         )
 
-    def _run_batch(self, engine: StreamingQoEPipeline) -> MonitorReport:
+    def _run_batch(self, engine: StreamingQoEPipeline, started: float) -> MonitorReport:
         try:
             estimates = engine.collect(self.source, batch=True)
             for estimate in estimates:
@@ -205,6 +260,7 @@ class QoEMonitor:
             n_estimates=len(estimates),
             n_flows=1 if estimates else 0,
             n_evicted_flows=0,
+            wall_time_s=perf_counter() - started,
         )
 
     def _fanout(self, items: list[StreamEstimate]) -> int:

@@ -1,7 +1,9 @@
 """Pluggable estimate consumers for the Source -> Engine -> Sink monitor API.
 
-One protocol (:class:`~repro.sinks.base.EstimateSink`: ``emit`` one
-estimate, ``close`` at end of stream) and five implementations:
+One base class (:class:`~repro.sinks.base.EstimateSink`: ``emit`` one
+estimate, ``close`` at end of stream, ``with``-block support for free;
+duck-typed ``emit``/``close`` objects keep working) and five
+implementations:
 
 * :class:`~repro.sinks.base.CollectorSink` -- retain everything in memory
   (tests, small offline runs);

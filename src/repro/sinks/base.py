@@ -18,7 +18,6 @@ everything.
 from __future__ import annotations
 
 from collections.abc import Iterator
-from typing import Protocol, runtime_checkable
 
 from repro.core.pipeline import PipelineEstimate
 from repro.core.streaming import StreamEstimate
@@ -26,13 +25,32 @@ from repro.core.streaming import StreamEstimate
 __all__ = ["EstimateSink", "CollectorSink", "flow_as_dict", "estimate_as_dict"]
 
 
-@runtime_checkable
-class EstimateSink(Protocol):
-    """Anything that consumes stream estimates one at a time."""
+class EstimateSink:
+    """Base class for estimate consumers.
 
-    def emit(self, item: StreamEstimate) -> None: ...  # pragma: no cover - protocol
+    Subclasses implement ``emit`` and (when they hold resources or final
+    state) override ``close``.  The base supplies context-manager support --
+    ``with SummarySink(...) as sink: ...`` closes the sink on exit -- so
+    every sink, not just the file-backed ones, can scope its lifetime to a
+    ``with`` block.
 
-    def close(self) -> None: ...  # pragma: no cover - protocol
+    The consumer contract itself stays structural: the monitor only ever
+    calls ``emit``/``close``, so any duck-typed object with those two methods
+    works as a sink without subclassing.  Subclassing buys the context
+    manager and marks intent.
+    """
+
+    def emit(self, item: StreamEstimate) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """End of stream; must be idempotent.  Default: nothing to release."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def flow_as_dict(item: StreamEstimate) -> dict:
@@ -63,7 +81,7 @@ def estimate_as_dict(item: StreamEstimate) -> dict:
     }
 
 
-class CollectorSink:
+class CollectorSink(EstimateSink):
     """Retain every estimate in memory (tests, small offline runs).
 
     ``items`` holds the :class:`~repro.core.streaming.StreamEstimate`

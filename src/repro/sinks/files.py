@@ -13,7 +13,7 @@ import json
 from pathlib import Path
 
 from repro.core.streaming import StreamEstimate
-from repro.sinks.base import estimate_as_dict
+from repro.sinks.base import EstimateSink, estimate_as_dict
 
 __all__ = ["JSONLinesSink", "CSVSink"]
 
@@ -25,7 +25,7 @@ FIELD_NAMES: tuple[str, ...] = (
 )
 
 
-class _FileSink:
+class _FileSink(EstimateSink):
     """Shared open/own/close machinery for the text-file sinks."""
 
     def __init__(self, target) -> None:
@@ -49,12 +49,6 @@ class _FileSink:
     def _check_open(self) -> None:
         if self._file is None:
             raise RuntimeError(f"{type(self).__name__} is closed")
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
 
 
 class JSONLinesSink(_FileSink):

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.core.streaming import StreamEstimate
 from repro.net.flows import FlowKey
+from repro.sinks.base import EstimateSink
 
 __all__ = ["FlowSummary", "SummarySink", "MetricsSnapshotSink"]
 
@@ -56,7 +57,7 @@ class FlowSummary:
         return self.degraded_windows / self.windows if self.windows else 0.0
 
 
-class _DegradationRule:
+class _DegradationRule(EstimateSink):
     """Shared degraded-window predicate for the aggregating sinks.
 
     ``degraded_fps_threshold`` tags windows whose estimated frame rate falls

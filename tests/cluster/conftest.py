@@ -1,0 +1,88 @@
+"""Fixtures for the sharded-monitor tests.
+
+The cluster tests run real worker *processes* (spawn), so the fixtures are
+deliberately cheap: short synthetic flows instead of simulated calls, and a
+small deterministically-trained forest stack instead of lab training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import IPUDPMLEstimator
+from repro.core.pipeline import QoEPipeline
+from repro.net.packet import IPv4Header, Packet, UDPHeader
+
+
+def synthetic_flow(
+    seed: int,
+    dst: str,
+    dst_port: int,
+    duration_s: float = 8.0,
+    start_s: float = 0.0,
+    src: str = "192.0.2.10",
+    src_port: int = 3478,
+) -> list[Packet]:
+    """One VCA-like downlink flow: fragmented ~25 fps video bursts."""
+    rng = np.random.default_rng(seed)
+    ip = IPv4Header(src=src, dst=dst)
+    udp = UDPHeader(src_port=src_port, dst_port=dst_port)
+    packets: list[Packet] = []
+    t = start_s + float(rng.uniform(0.0, 0.02))
+    while t < start_s + duration_s:
+        size = int(rng.integers(700, 1200))
+        for i in range(int(rng.integers(2, 5))):
+            packets.append(Packet(timestamp=t + i * 0.0008, ip=ip, udp=udp, payload_size=size))
+        t += float(rng.normal(0.04, 0.004))
+    return packets
+
+
+def interleave(*flows: list[Packet]) -> list[Packet]:
+    """Merge flows the way a capture point would see them (by timestamp)."""
+    return sorted((p for flow in flows for p in flow), key=lambda p: p.timestamp)
+
+
+def make_trained_pipeline(seed: int = 0) -> QoEPipeline:
+    """A deterministically-trained pipeline, cheap enough to rebuild at will.
+
+    Fits small per-metric forests on synthetic feature rows; the predictions
+    are arbitrary but deterministic, which is all the equivalence and
+    bit-identity tests need.  Reconstructing with the same seed yields the
+    same forests (``random_state`` is fixed), so independently built copies
+    predict identically.
+    """
+    pipeline = QoEPipeline.for_vca("teams")
+    pipeline.ml = IPUDPMLEstimator.for_profile(pipeline.profile, n_estimators=8, max_depth=6)
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 1500.0, size=(80, len(pipeline.ml.feature_names)))
+    pipeline.ml.fit(
+        X,
+        {
+            "frame_rate": rng.uniform(5.0, 30.0, 80),
+            "bitrate": rng.uniform(100.0, 2000.0, 80),
+            "frame_jitter": rng.uniform(0.0, 50.0, 80),
+            "resolution": rng.choice(["low", "medium", "high"], 80),
+        },
+    )
+    pipeline._trained = True
+    return pipeline
+
+
+@pytest.fixture(scope="session")
+def many_flow_packets() -> list[Packet]:
+    """Four concurrent 8-second sessions, interleaved by arrival time."""
+    return interleave(
+        *(synthetic_flow(seed, f"10.0.0.{seed + 1}", 50000 + seed) for seed in range(4))
+    )
+
+
+@pytest.fixture(scope="session")
+def single_flow_packets() -> list[Packet]:
+    """One short session (for worker-loop unit tests)."""
+    return synthetic_flow(1, "10.0.0.1", 50000, duration_s=4.0)
+
+
+@pytest.fixture(scope="session")
+def trained_pipeline() -> QoEPipeline:
+    return make_trained_pipeline()

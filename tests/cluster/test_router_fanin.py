@@ -1,0 +1,204 @@
+"""Unit tests for the sharding router, the fan-in merge, and the worker loop.
+
+These cover the cluster's deterministic plumbing without process overhead;
+the end-to-end multiprocess behaviour is pinned by
+``test_sharded_monitor.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+
+import pytest
+
+from repro.cluster import FanInSink, FlowShardRouter
+from repro.cluster.fanin import flow_sort_key
+from repro.cluster.worker import shard_worker_main
+from repro.core.pipeline import PipelineEstimate, QoEPipeline
+from repro.core.streaming import StreamEstimate
+from repro.net.flows import FlowKey, five_tuple
+from repro.net.packet import IPv4Header, Packet, UDPHeader
+from repro.sinks.base import CollectorSink
+
+
+def make_packet(timestamp=0.0, src="10.1.0.1", src_port=4000, dst="10.2.0.2", dst_port=5000):
+    return Packet(
+        timestamp=timestamp,
+        ip=IPv4Header(src=src, dst=dst),
+        udp=UDPHeader(src_port=src_port, dst_port=dst_port),
+        payload_size=1000,
+    )
+
+
+def make_item(window_start: float, dst_port: int = 50000) -> StreamEstimate:
+    flow = FlowKey(src="192.0.2.10", src_port=3478, dst="10.0.0.1", dst_port=dst_port)
+    estimate = PipelineEstimate(
+        window_start=window_start,
+        frame_rate=25.0,
+        bitrate_kbps=900.0,
+        frame_jitter_ms=5.0,
+        resolution=None,
+        source="heuristic",
+    )
+    return StreamEstimate(flow=flow, estimate=estimate)
+
+
+class TestFlowShardRouter:
+    def test_same_flow_always_same_shard(self):
+        router = FlowShardRouter(4)
+        packets = [make_packet(timestamp=0.1 * i) for i in range(50)]
+        shards = {router.shard_of(p) for p in packets}
+        assert len(shards) == 1
+
+    def test_both_directions_colocate(self):
+        router = FlowShardRouter(8)
+        forward = make_packet()
+        backward = make_packet(src="10.2.0.2", src_port=5000, dst="10.1.0.1", dst_port=4000)
+        assert five_tuple(forward) != five_tuple(backward)
+        assert router.shard_of(forward) == router.shard_of(backward)
+
+    def test_deterministic_across_router_instances(self):
+        packets = [make_packet(dst_port=5000 + i) for i in range(64)]
+        a = [FlowShardRouter(4).shard_of(p) for p in packets]
+        b = [FlowShardRouter(4).shard_of(p) for p in packets]
+        assert a == b
+
+    def test_spreads_flows_across_shards(self):
+        router = FlowShardRouter(4)
+        shards = {router.shard_of(make_packet(dst_port=5000 + i)) for i in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_single_shard_and_validation(self):
+        router = FlowShardRouter(1)
+        assert router.shard_of(make_packet()) == 0
+        with pytest.raises(ValueError):
+            FlowShardRouter(0)
+
+    def test_shard_of_key_accepts_either_direction(self):
+        router = FlowShardRouter(8)
+        key = five_tuple(make_packet())
+        assert router.shard_of_key(key) == router.shard_of_key(key.reversed())
+
+
+class TestFanInSink:
+    def test_releases_only_below_min_watermark(self):
+        downstream = CollectorSink()
+        fan_in = FanInSink(downstream, n_shards=2)
+        fan_in.accept(0, [make_item(0.0), make_item(5.0)], low_watermark=6.0)
+        # Shard 1 has said nothing: nothing may be released yet.
+        assert len(downstream) == 0
+        fan_in.accept(1, [make_item(1.0, dst_port=50001)], low_watermark=2.0)
+        # min watermark is now 2.0: only windows strictly below it go out.
+        assert [i.estimate.window_start for i in downstream.items] == [0.0, 1.0]
+        # Shard 1 exhausted: shard 0's own bound (6.0) is the limit now.
+        fan_in.finish(1)
+        assert [i.estimate.window_start for i in downstream.items] == [0.0, 1.0, 5.0]
+        fan_in.finish(0)
+        assert fan_in.records_released == 3
+
+    def test_merged_order_is_window_then_flow(self):
+        downstream = CollectorSink()
+        fan_in = FanInSink(downstream, n_shards=3)
+        fan_in.accept(2, [make_item(1.0, dst_port=50002)])
+        fan_in.accept(0, [make_item(0.0, dst_port=50009), make_item(1.0, dst_port=50009)])
+        fan_in.accept(1, [make_item(1.0, dst_port=50001), make_item(2.0, dst_port=50001)])
+        fan_in.close()
+        keys = [(i.estimate.window_start, i.flow.dst_port) for i in downstream.items]
+        assert keys == [(0.0, 50009), (1.0, 50001), (1.0, 50002), (1.0, 50009), (2.0, 50001)]
+
+    def test_order_invariant_to_message_interleaving(self):
+        batches = {
+            0: [(0, [make_item(0.0)], 1.0), (0, [make_item(1.0), make_item(2.0)], 3.0)],
+            1: [(1, [make_item(0.0, dst_port=50001)], 2.0), (1, [make_item(3.0, dst_port=50001)], 4.0)],
+        }
+        outputs = []
+        for order in ([0, 0, 1, 1], [1, 0, 1, 0], [0, 1, 0, 1]):
+            downstream = CollectorSink()
+            fan_in = FanInSink(downstream, n_shards=2)
+            pending = {shard: list(shard_batches) for shard, shard_batches in batches.items()}
+            for shard in order:
+                shard_id, items, watermark = pending[shard].pop(0)
+                fan_in.accept(shard_id, items, watermark)
+            fan_in.close()
+            outputs.append([(i.estimate.window_start, i.flow.dst_port) for i in downstream.items])
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_watermark_never_regresses(self):
+        downstream = CollectorSink()
+        fan_in = FanInSink(downstream, n_shards=1)
+        fan_in.accept(0, [make_item(0.0)], low_watermark=5.0)
+        assert len(downstream) == 1
+        # A stale (lower) watermark must not re-open the released range.
+        fan_in.accept(0, [], low_watermark=1.0)
+        fan_in.accept(0, [make_item(4.0)], low_watermark=5.0)
+        assert [i.estimate.window_start for i in downstream.items] == [0.0, 4.0]
+
+    def test_plain_sink_compatibility(self):
+        downstream = CollectorSink()
+        with FanInSink(downstream) as fan_in:
+            fan_in.emit(make_item(1.0))
+            fan_in.emit(make_item(0.0))
+        assert downstream.closed
+        assert [i.estimate.window_start for i in downstream.items] == [0.0, 1.0]
+        assert fan_in.records_released == 2
+
+    def test_close_is_idempotent_and_guards_further_input(self):
+        fan_in = FanInSink(n_shards=2)
+        fan_in.close()
+        fan_in.close()
+        with pytest.raises(RuntimeError):
+            fan_in.accept(0, [make_item(0.0)])
+        with pytest.raises(ValueError):
+            FanInSink(n_shards=0)
+        with pytest.raises(ValueError):
+            FanInSink(n_shards=2).accept(2, [])
+
+    def test_flow_sort_key_totally_orders_none_first(self):
+        keys = [make_item(0.0, dst_port=50001).flow, None, make_item(0.0).flow]
+        ordered = sorted(keys, key=flow_sort_key)
+        assert ordered[0] is None
+
+
+class TestShardWorkerLoop:
+    """The worker entry point run in-process with plain queues."""
+
+    def _run_worker(self, payload: str, chunks, config_dict=None):
+        in_queue: queue.Queue = queue.Queue()
+        out_queue: queue.Queue = queue.Queue()
+        for chunk in chunks:
+            in_queue.put(("chunk", chunk))
+        in_queue.put(("stop",))
+        shard_worker_main(7, payload, config_dict, None, in_queue, out_queue)
+        messages = []
+        while not out_queue.empty():
+            messages.append(out_queue.get_nowait())
+        return messages
+
+    def test_worker_emits_progress_then_done_with_stats(self, single_flow_packets):
+        packets = single_flow_packets
+        payload = json.dumps(QoEPipeline.for_vca("teams").to_payload())
+        chunks = [packets[i : i + 100] for i in range(0, len(packets), 100)]
+        messages = self._run_worker(payload, chunks)
+        kinds = [message[0] for message in messages]
+        assert kinds.count("done") == 1 and kinds[-1] == "done"
+        assert all(kind == "progress" for kind in kinds[:-1])
+        _, shard_id, tail, stats = messages[-1]
+        assert shard_id == 7
+        assert stats["n_packets"] == len(packets)
+        assert stats["n_flows"] == 1
+        emitted = [item for message in messages[:-1] for item in message[2]] + tail
+        assert len(emitted) >= 3  # one per closed window
+        # Progress watermarks are monotone and honoured by every later batch.
+        watermark = float("-inf")
+        for message in messages[:-1]:
+            if message[3] is not None:
+                assert message[3] >= watermark
+                watermark = message[3]
+
+    def test_worker_reports_errors_instead_of_dying_silently(self):
+        messages = self._run_worker("{\"format\": \"bogus\"}", [])
+        assert len(messages) == 1
+        kind, shard_id, trace = messages[0]
+        assert kind == "error" and shard_id == 7
+        assert "not a saved QoE pipeline" in trace

@@ -65,6 +65,16 @@ class TestRandomForestRegressor:
         with pytest.raises(RuntimeError):
             RandomForestRegressor().predict(np.zeros((2, 3)))
 
+    def test_predict_many_bit_identical_to_row_at_a_time(self, regression_data):
+        """Batched inference must not perturb predictions even in the last ulp
+        (the sharded monitor's tick batching relies on exact equality)."""
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=10, random_state=3).fit(X, y)
+        batched = forest.predict_many(list(X[:32]))
+        singles = np.array([forest.predict(row)[0] for row in X[:32]])
+        assert batched.tolist() == singles.tolist()  # exact, not approx
+        assert forest.predict_many([]).size == 0
+
     def test_without_bootstrap(self, regression_data):
         X, y = regression_data
         forest = RandomForestRegressor(n_estimators=5, bootstrap=False, random_state=0).fit(X, y)

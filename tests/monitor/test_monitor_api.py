@@ -353,6 +353,71 @@ class TestEvictionAndReadmission:
             assert len(starts) == len(set(starts))
 
 
+class TestSinkContextManagers:
+    """Every sink -- not just the file-backed ones -- works in a with block."""
+
+    def test_all_sink_types_close_on_exit(self, tmp_path):
+        from repro import EstimateSink
+
+        closeable = [CollectorSink(), SummarySink(), MetricsSnapshotSink()]
+        for sink in closeable:
+            assert isinstance(sink, EstimateSink)
+            with sink as entered:
+                assert entered is sink
+                assert not sink.closed
+            assert sink.closed
+        with JSONLinesSink(tmp_path / "x.jsonl") as jsonl:
+            pass
+        with pytest.raises(RuntimeError):
+            jsonl.emit(None)  # closed on exit
+
+    def test_with_block_scopes_a_monitor_run(self, teams_call):
+        pipeline = QoEPipeline.for_vca("teams")
+        with CollectorSink() as collector, SummarySink() as summary:
+            QoEMonitor(pipeline, TraceSource(teams_call.trace), sinks=[collector, summary]).run()
+            assert len(collector) > 0
+        assert collector.closed and summary.closed
+
+    def test_close_remains_idempotent_via_context_manager(self):
+        sink = MetricsSnapshotSink()
+        with sink:
+            sink.close()
+        assert sink.closed
+
+
+class TestReportThroughputCounters:
+    def test_report_exposes_packets_flows_and_wall_time(self, teams_call):
+        pipeline = QoEPipeline.for_vca("teams")
+        report = QoEMonitor(pipeline, TraceSource(teams_call.trace), sinks=CollectorSink()).run()
+        assert report.packets_consumed == report.n_packets == len(teams_call.trace)
+        assert report.flows_seen == report.n_flows == 1
+        assert report.wall_time_s > 0.0
+        assert report.packets_per_s == pytest.approx(
+            report.packets_consumed / report.wall_time_s
+        )
+
+    def test_wall_time_does_not_break_report_equality(self, teams_call):
+        """Two runs over the same capture compare equal (wall time excluded)."""
+        pipeline = QoEPipeline.for_vca("teams")
+        source = TraceSource(teams_call.trace)
+        first = QoEMonitor(pipeline, source, sinks=CollectorSink()).run()
+        second = QoEMonitor(pipeline, source, sinks=CollectorSink()).run()
+        assert first == second
+        assert first.wall_time_s != 0.0
+
+    def test_batch_grid_run_populates_counters(self, teams_call, teams_pcap):
+        pipeline = QoEPipeline.for_vca("teams")
+        report = QoEMonitor(
+            pipeline,
+            PcapSource(teams_pcap),
+            sinks=CollectorSink(),
+            config=pipeline.config.replace(demux_flows=False),
+            batch_grid=True,
+        ).run()
+        assert report.packets_consumed == len(teams_call.trace)
+        assert report.wall_time_s > 0.0
+
+
 class TestDeprecatedAliases:
     def test_estimates_for_warns_and_matches_collect(self, teams_call):
         pipeline = QoEPipeline.for_vca("teams")
@@ -362,6 +427,20 @@ class TestDeprecatedAliases:
         with pytest.warns(DeprecationWarning, match="collect"):
             result = legacy.estimates_for(teams_call.trace)
         assert [item.estimate for item in result] == [item.estimate for item in expected]
+
+    def test_estimates_for_demux_mode_matches_collect_with_flow_tags(self, teams_call, lossy_teams_call):
+        """The alias contract holds in the default multi-flow mode too."""
+        pipeline = QoEPipeline.for_vca("teams")
+        flow_a = teams_call.trace.without_ground_truth().without_rtp()
+        flow_b = remap_flow(lossy_teams_call.trace.without_ground_truth().without_rtp())
+        merged = sorted(list(flow_a) + list(flow_b), key=lambda p: p.timestamp)
+        expected = StreamingQoEPipeline(pipeline).collect(merged)
+        with pytest.warns(DeprecationWarning) as record:
+            result = StreamingQoEPipeline(pipeline).estimates_for(merged)
+        assert all(w.category is DeprecationWarning for w in record)
+        assert [(item.flow, item.estimate) for item in result] == [
+            (item.flow, item.estimate) for item in expected
+        ]
 
     def test_batch_estimates_warns_and_matches_collect(self, teams_call):
         pipeline = QoEPipeline.for_vca("teams")
