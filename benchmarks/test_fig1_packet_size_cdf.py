@@ -8,7 +8,7 @@ are dominated by 304-byte keep-alives.
 import numpy as np
 
 from benchmarks.conftest import save_artifact
-from repro.analysis.cdf import cdf_table, fraction_at_or_below
+from repro.analysis.cdf import fraction_at_or_below
 from repro.analysis.reporting import format_table
 from repro.net.packet import MediaType
 

@@ -5,7 +5,6 @@ percentage (~1.5-2%) of non-video packets (DTLS handshake / key exchange) are
 misclassified as video.
 """
 
-import numpy as np
 
 from benchmarks.conftest import save_artifact
 from repro.analysis.reporting import format_confusion_matrix

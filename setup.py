@@ -1,0 +1,10 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so `pip install -e .` also works on old pip/setuptools stacks that
+lack the `wheel` package (their PEP 660 editable path needs bdist_wheel);
+modern tooling ignores this file and reads pyproject.toml directly.
+"""
+
+from setuptools import setup
+
+setup()

@@ -48,6 +48,7 @@ from repro.sources import (
     PcapSource,
     TraceSource,
     as_source,
+    iter_blocks,
 )
 from repro.sinks import (
     CollectorSink,
@@ -65,6 +66,7 @@ from repro.core.evaluation import EvaluationDataset, compare_methods
 from repro.datasets.lab import LabDatasetConfig, build_lab_dataset
 from repro.datasets.realworld import RealWorldConfig, build_real_world_dataset
 from repro.datasets.synthetic import SweepConfig, build_impairment_sweep
+from repro.net.block import PacketBlock
 from repro.net.trace import PacketTrace
 from repro.netem.conditions import ConditionSchedule, NetworkCondition
 from repro.webrtc.session import CallResult, SessionConfig, simulate_call
@@ -88,6 +90,8 @@ __all__ = [
     "PcapSource",
     "MergedSource",
     "as_source",
+    "iter_blocks",
+    "PacketBlock",
     "EstimateSink",
     "CollectorSink",
     "JSONLinesSink",

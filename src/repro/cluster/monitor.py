@@ -42,7 +42,7 @@ from repro.cluster.fanin import FanInSink
 from repro.cluster.router import FlowShardRouter
 from repro.cluster.worker import ShardWorker
 from repro.monitor import MonitorReport
-from repro.sources.base import PacketSource, as_source
+from repro.sources.base import PacketSource, as_source, iter_blocks
 
 __all__ = ["ShardedQoEMonitor"]
 
@@ -72,6 +72,17 @@ class ShardedQoEMonitor:
         Packets per routed chunk.  A chunk is both the pickling unit
         (amortizing IPC overhead) and the inference tick (windows closing in
         the same chunk share one vectorized forest call).
+    transport:
+        ``"block"`` (default): the source is consumed as columnar
+        :class:`~repro.net.block.PacketBlock` batches
+        (:func:`~repro.sources.base.iter_blocks`), each split into
+        per-shard sub-blocks with one CRC-32 per *unique flow* (memoized)
+        and shipped as raw array buffers; workers run the engine's columnar
+        :meth:`push_block <repro.core.streaming.StreamingQoEPipeline.push_block>`
+        path.  ``"packets"``: the legacy per-packet routing that pickles
+        ``Packet`` lists.  Both transports emit bit-identical estimates
+        (pinned by ``tests/cluster/``); blocks are simply faster on and off
+        the wire.
     start_method:
         ``multiprocessing`` start method; the default ``"spawn"`` is the
         portable choice and what the workers are built to be safe under.
@@ -90,11 +101,14 @@ class ShardedQoEMonitor:
         config: PipelineConfig | None = None,
         n_workers: int = 2,
         chunk_size: int = 256,
+        transport: str = "block",
         start_method: str = "spawn",
         new_flow_slack_s: float | None = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        if transport not in ("block", "packets"):
+            raise ValueError(f"transport must be 'block' or 'packets', got {transport!r}")
         self.pipeline = pipeline
         self.source: PacketSource = as_source(source)
         if hasattr(sinks, "emit"):  # a single sink was passed
@@ -109,6 +123,7 @@ class ShardedQoEMonitor:
         self.router = FlowShardRouter(n_workers)
         self.n_workers = n_workers
         self.chunk_size = chunk_size
+        self.transport = transport
         self.start_method = start_method
         self.new_flow_slack_s = new_flow_slack_s
         #: Per-shard ``{"n_packets", "n_flows", "n_evicted_flows"}`` of the
@@ -175,23 +190,34 @@ class ShardedQoEMonitor:
         try:
             for worker in workers:
                 worker.start()
-            buffers: list[list] = [[] for _ in range(self.n_workers)]
-            for packet in self.source:
-                n_packets += 1
-                shard_id = self.router.shard_of(packet)
-                buffer = buffers[shard_id]
-                buffer.append(packet)
-                if len(buffer) >= self.chunk_size:
-                    self._send(workers[shard_id], ("chunk", buffer))
-                    buffers[shard_id] = []
+            if self.transport == "block":
+                # Columnar path: the source yields struct-of-arrays blocks
+                # (native fast paths for traces and pcap files), the router
+                # hashes once per unique flow, and what crosses the process
+                # boundary is array buffers -- no per-packet pickling.
+                for block in iter_blocks(self.source, self.chunk_size):
+                    n_packets += len(block)
+                    for shard_id, sub_block in self.router.partition_block(block):
+                        self._send(workers[shard_id], ("block", sub_block))
                     # Drain whatever the workers produced so far: estimates
                     # reach the sinks while the run is in flight (live
                     # scrapes work) and parent memory stays O(in-flight),
                     # not O(all estimates of the capture).
                     self._pump()
-            for shard_id, buffer in enumerate(buffers):
-                if buffer:
-                    self._send(workers[shard_id], ("chunk", buffer))
+            else:
+                buffers: list[list] = [[] for _ in range(self.n_workers)]
+                for packet in self.source:
+                    n_packets += 1
+                    shard_id = self.router.shard_of(packet)
+                    buffer = buffers[shard_id]
+                    buffer.append(packet)
+                    if len(buffer) >= self.chunk_size:
+                        self._send(workers[shard_id], ("chunk", buffer))
+                        buffers[shard_id] = []
+                        self._pump()
+                for shard_id, buffer in enumerate(buffers):
+                    if buffer:
+                        self._send(workers[shard_id], ("chunk", buffer))
             for worker in workers:
                 self._send(worker, ("stop",))
             self._drain_until_done()

@@ -14,11 +14,20 @@ bit-identically by the PR 2 persistence contract.
 
 Protocol (all messages are plain tuples over ``multiprocessing`` queues)::
 
-    parent -> worker:  ("chunk", [Packet, ...])        one routed tick
+    parent -> worker:  ("block", PacketBlock)          one routed tick (columnar)
+                       ("chunk", [Packet, ...])        one routed tick (legacy)
                        ("stop",)                       end of source
     worker -> parent:  ("progress", shard_id, [StreamEstimate], low_watermark)
                        ("done", shard_id, [StreamEstimate], stats dict)
                        ("error", shard_id, traceback string)
+
+The columnar ``("block", ...)`` transport is the default: a
+:class:`~repro.net.block.PacketBlock` pickles as a handful of NumPy array
+buffers plus small side tables, instead of one Python object graph per
+packet, and the worker feeds it to :meth:`StreamingQoEPipeline.push_block
+<repro.core.streaming.StreamingQoEPipeline.push_block>` without ever
+materializing ``Packet`` objects in trained mode.  The two transports
+produce bit-identical estimates (pinned by ``tests/cluster/``).
 
 Inside the worker each chunk is one inference tick: windows that close in
 it -- across all of the shard's flows -- are buffered and pushed through the
@@ -77,11 +86,17 @@ def shard_worker_main(
                 break
             chunk = message[1]
             n_packets += len(chunk)
-            emitted = engine.push_chunk(chunk)
-            if idle_timeout is not None and chunk:
-                for packet in chunk:
-                    if newest_ts is None or packet.timestamp > newest_ts:
-                        newest_ts = packet.timestamp
+            if message[0] == "block":
+                emitted = engine.push_block(chunk)
+            else:
+                emitted = engine.push_chunk(chunk)
+            if idle_timeout is not None and len(chunk):
+                if message[0] == "block":
+                    chunk_newest = float(chunk.timestamps.max())
+                else:
+                    chunk_newest = max(packet.timestamp for packet in chunk)
+                if newest_ts is None or chunk_newest > newest_ts:
+                    newest_ts = chunk_newest
                 if eviction.due(newest_ts):
                     evicted = engine.evict_idle(idle_timeout)
                     sweep_flows = {item.flow for item in evicted}

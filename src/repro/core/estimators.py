@@ -12,7 +12,7 @@ can treat all four methods (two heuristics, two ML models) uniformly.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np

@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.estimators import (
-    ALL_METRICS,
     REGRESSION_METRICS,
     BaseMLEstimator,
     IPUDPMLEstimator,

@@ -21,7 +21,6 @@ import numpy as np
 from repro.core.media import MediaClassifier
 from repro.core.windows import WindowedTrace
 from repro.net.packet import Packet
-from repro.net.trace import PacketTrace
 from repro.rtp.header import VIDEO_CLOCK_RATE, sequence_distance
 from repro.rtp.payload_types import PayloadTypeMap
 
@@ -223,6 +222,48 @@ class IPUDPFeatureAccumulator:
             self._iats.append(gap)
         self._last_timestamp = packet.timestamp
         return True
+
+    def extend(self, timestamps: np.ndarray, sizes: np.ndarray) -> int:
+        """Account a (timestamp-ordered) run of packets from block columns.
+
+        The columnar counterpart of :meth:`push`: ``sizes`` is an integer
+        payload-size array, ``timestamps`` float64 arrival times, both for
+        the *same* rows.  Produces exactly the state sequential :meth:`push`
+        calls would -- the gap arithmetic is the same float subtraction
+        (``np.diff``), buffers receive the same float64 values, and the
+        video filter is :meth:`MediaClassifier.video_mask
+        <repro.core.media.MediaClassifier.video_mask>` (identical to
+        ``is_video`` for size-threshold classifiers) -- so :meth:`features`
+        stays bit-identical between the two paths.  Returns the number of
+        rows that counted as video.
+        """
+        mask = self.classifier.video_mask(sizes)
+        if not mask.all():
+            timestamps = timestamps[mask]
+            sizes = sizes[mask]
+        n = len(sizes)
+        if n == 0:
+            return 0
+        float_sizes = sizes.astype(float)
+        self.n += n
+        self.byte_sum += float(float_sizes.sum())  # integer-valued: order-exact
+        low = float(float_sizes.min())
+        high = float(float_sizes.max())
+        if low < self.size_min:
+            self.size_min = low
+        if high > self.size_max:
+            self.size_max = high
+        self.unique_sizes.update(int(size) for size in sizes.tolist())
+        self._sizes.extend(float_sizes.tolist())
+        if self._last_timestamp is None:
+            self.microbursts += 1  # the run's first video packet opens a burst
+            gaps = np.diff(timestamps)
+        else:
+            gaps = np.diff(np.concatenate(([self._last_timestamp], timestamps)))
+        self.microbursts += int(np.count_nonzero(gaps >= self.microburst_threshold))
+        self._iats.extend(gaps.tolist())
+        self._last_timestamp = float(timestamps[-1])
+        return n
 
     def features(self) -> np.ndarray:
         """The 14-feature vector for the window accumulated so far.

@@ -148,6 +148,19 @@ class MediaClassifier:
             return False
         return packet.payload_size >= self.video_size_threshold
 
+    def video_mask(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_video` over an array of payload sizes.
+
+        This is the columnar (block) hot path's classifier; it must agree
+        with :meth:`is_video` element for element.  Subclasses that override
+        :meth:`is_video` with size-based logic must override this too --
+        the streaming engine's block path calls only ``video_mask``.
+        """
+        mask = sizes >= self.video_size_threshold
+        if self.keepalive_size is not None:
+            mask &= sizes != self.keepalive_size
+        return mask
+
     def push(self, packet: Packet) -> bool:
         """Streaming entry point: classify one packet as it arrives.
 

@@ -10,9 +10,6 @@ are considered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.core.heuristic import HeuristicEstimate, estimates_from_frames
 from repro.core.frame_assembly import AssembledFrame

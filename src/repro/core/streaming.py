@@ -42,13 +42,14 @@ from repro.core.features import IPUDPFeatureAccumulator
 from repro.core.frame_assembly import AssembledFrame, FrameAssembler
 from repro.core.heuristic import estimates_from_frames
 from repro.core.media import MediaClassifier
+from repro.net.block import PacketBlock, _BlockRow
 from repro.net.flows import FlowKey, FlowTable
 from repro.net.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.core.pipeline import PipelineEstimate, QoEPipeline
 
-__all__ = ["StreamEstimate", "StreamingQoEPipeline", "window_index"]
+__all__ = ["StreamEstimate", "StreamingQoEPipeline", "window_index", "window_indices"]
 
 #: Sentinel distinguishing "not passed" from an explicit ``None`` override.
 _UNSET = object()
@@ -66,6 +67,28 @@ def window_index(timestamp: float, start: float, window_s: float) -> int:
         k += 1
     while k > 0 and timestamp < start + k * window_s:
         k -= 1
+    return k
+
+
+def window_indices(timestamps: np.ndarray, start: float, window_s: float) -> np.ndarray:
+    """Vectorized :func:`window_index` over a float64 timestamp array.
+
+    Identical arithmetic (float64 division, floor, and the two boundary
+    adjustment sweeps), so every element agrees with the scalar function to
+    the last ulp -- the block path's windows land exactly where the
+    per-packet path's do.
+    """
+    k = np.floor((timestamps - start) / window_s).astype(np.int64)
+    while True:
+        overshoot = timestamps >= start + (k + 1) * window_s
+        if not overshoot.any():
+            break
+        k[overshoot] += 1
+    while True:
+        undershoot = (k > 0) & (timestamps < start + k * window_s)
+        if not undershoot.any():
+            break
+        k[undershoot] -= 1
     return k
 
 
@@ -111,6 +134,10 @@ class _FlowStream:
         self._pending: list[tuple[float, int, Packet]] = []
         self._seq = 0
         self._watermark: float | None = None
+        #: Block-path bookkeeping: the in-block row index of the packet whose
+        #: push is currently triggering emissions (``None`` outside a block).
+        #: The engine reads it to restore per-packet emission order.
+        self.trigger_pos: int | None = None
         #: Arrival time of the newest packet ever pushed (unlike the
         #: watermark, set even while everything still sits in the reorder
         #: buffer) -- the idle-eviction signal.
@@ -152,6 +179,133 @@ class _FlowStream:
             return []
         _, _, released = heapq.heappop(self._pending)
         return self._release(released)
+
+    def push_rows(
+        self,
+        timestamps: np.ndarray,
+        sizes: np.ndarray,
+        positions: np.ndarray,
+        rows: list | None = None,
+    ) -> list[tuple[int, "PipelineEstimate"]]:
+        """Feed a run of block rows: the columnar hot path.
+
+        ``timestamps`` / ``sizes`` are one flow's columns in arrival order;
+        ``positions`` carries each row's index in the enclosing block, and
+        every returned estimate is tagged with the position of the row whose
+        (virtual) push triggered it, so the engine can interleave flows back
+        into exact per-packet emission order.  ``rows`` (heuristic mode
+        only) are the packet-like objects for the same rows -- frame
+        assembly needs objects, trained feature accumulation does not.
+
+        When the run is timestamp-sorted and nothing in it backdates the
+        reorder buffer -- the overwhelmingly common case -- the reorder
+        buffer reduces to a sliding delay line: the released rows are the
+        sorted buffer followed by the run's prefix.  Trained mode then
+        processes the releases with one vectorized window assignment and one
+        array accumulator update per window; heuristic mode feeds them to
+        the (inherently sequential) release operators directly, skipping
+        only the per-packet heap.  Both replay exactly what per-packet
+        :meth:`push` does (same releases, same order, same float
+        arithmetic); disordered runs fall back to the per-row path, which
+        *is* :meth:`push`.
+        """
+        m = len(timestamps)
+        if m == 0:
+            return []
+        trained = self.predict is not None
+        assert trained or rows is not None, "heuristic push_rows needs packet objects"
+        newest = float(timestamps.max())
+        if self.last_seen is None or newest > self.last_seen:
+            self.last_seen = newest
+        pending = self._pending
+        ordered = m == 1 or bool(np.all(timestamps[1:] >= timestamps[:-1]))
+        if ordered and pending:
+            ordered = float(timestamps[0]) >= max(entry[0] for entry in pending)
+        if ordered and self._watermark is not None:
+            # A run that backdates the stream (possible whenever the buffer
+            # is shallower than the disorder, e.g. reorder_depth=0) must go
+            # through _release's stale-packet drop, not the delay line.
+            ordered = float(timestamps[0]) >= self._watermark
+        if not ordered:
+            out: list[tuple[int, PipelineEstimate]] = []
+            for i in range(m):
+                pos = int(positions[i])
+                self.trigger_pos = pos
+                row = rows[i] if rows is not None else _BlockRow(float(timestamps[i]), int(sizes[i]))
+                for estimate in self.push(row):
+                    out.append((pos, estimate))
+            self.trigger_pos = None
+            return out
+
+        depth = self.reorder_depth
+        p0 = len(pending)
+        pending_sorted = sorted(pending)
+        seq0 = self._seq
+        self._seq += m
+        n_release = p0 + m - depth if p0 + m > depth else 0
+        out = []
+        if n_release:
+            trig_start = depth - p0
+            if not trained:
+                # Heuristic mode: releases run through the ordinary operator
+                # chain (frame assembly is order-sensitive by design); only
+                # the reorder heap is bypassed.
+                released = [entry[2] for entry in pending_sorted[:n_release]]
+                released.extend(rows[: n_release - len(released)])
+                for r, row in enumerate(released):
+                    trig = int(positions[trig_start + r])
+                    self.trigger_pos = trig
+                    for estimate in self._release(row):
+                        out.append((trig, estimate))
+                self.trigger_pos = None
+            else:
+                if p0:
+                    pend_ts = np.fromiter(
+                        (entry[0] for entry in pending_sorted), dtype=np.float64, count=p0
+                    )
+                    pend_sz = np.fromiter(
+                        (entry[2].payload_size for entry in pending_sorted), dtype=np.int64, count=p0
+                    )
+                    rel_ts = np.concatenate((pend_ts, timestamps))[:n_release]
+                    rel_sz = np.concatenate((pend_sz, sizes))[:n_release]
+                else:
+                    rel_ts = timestamps[:n_release]
+                    rel_sz = sizes[:n_release]
+                rel_trig = positions[trig_start : trig_start + n_release]
+                if self._watermark is None and self.backfill_limit is not None:
+                    first_window = window_index(float(rel_ts[0]), self.start, self.window_s)
+                    self._next_window = max(self._next_window, first_window - self.backfill_limit)
+                self._watermark = float(rel_ts[-1])
+                ks = window_indices(rel_ts, self.start, self.window_s)
+                bounds = np.flatnonzero(np.diff(ks)) + 1
+                starts = np.concatenate(([0], bounds))
+                ends = np.concatenate((bounds, [n_release]))
+                for a, b in zip(starts.tolist(), ends.tolist()):
+                    k = int(ks[a])
+                    trig = int(rel_trig[a])
+                    self.trigger_pos = trig
+                    for estimate in self._close_through(k - 1):
+                        out.append((trig, estimate))
+                    if self._acc is None or k != self._acc_index:
+                        self._acc = IPUDPFeatureAccumulator(
+                            self.window_s, classifier=self.classifier
+                        )
+                        self._acc_index = k
+                    self._acc.extend(rel_ts[a:b], rel_sz[a:b])
+                self.trigger_pos = None
+        # Rebuild the reorder buffer: the unreleased tail of (sorted pending
+        # ++ incoming) is sorted, hence a valid heap as-is.
+        tail = list(pending_sorted[n_release:]) if n_release < p0 else []
+        inc_start = max(0, n_release - p0)
+        if rows is not None:
+            for i in range(inc_start, m):
+                tail.append((float(timestamps[i]), seq0 + i, rows[i]))
+        else:
+            for i in range(inc_start, m):
+                timestamp = float(timestamps[i])
+                tail.append((timestamp, seq0 + i, _BlockRow(timestamp, int(sizes[i]))))
+        self._pending = tail
+        return out
 
     def flush(self) -> list["PipelineEstimate"]:
         """Drain the reorder buffer, finalize open frames, close all windows."""
@@ -382,10 +536,13 @@ class StreamingQoEPipeline:
         # ``(features, window_start)`` here instead of predicting per window,
         # so ``collect(batch=True)`` can run the forests once, vectorized.
         self._feature_rows: list[tuple[np.ndarray, float]] | None = None
-        # Tick-batch mode: when set (inside push_chunk), trained-mode windows
-        # append ``(flow, features, window_start)`` here and inference runs
-        # once per tick over all flows whose windows closed in it.
-        self._tick_rows: list[tuple[FlowKey | None, np.ndarray, float]] | None = None
+        # Tick-batch mode: when set (inside push_chunk / push_block),
+        # trained-mode windows append ``(flow, features, window_start,
+        # trigger_pos)`` here and inference runs once per tick over all flows
+        # whose windows closed in it.  ``trigger_pos`` is the triggering
+        # packet's block row (``None`` on the per-packet chunk path); the
+        # tick resolves in trigger order, i.e. per-packet emission order.
+        self._tick_rows: list[tuple[FlowKey | None, np.ndarray, float, int | None]] | None = None
         # Estimates of a tick whose chunk iterator raised: the windows are
         # already closed, so they are delivered by the next chunk or flush.
         self._held_estimates: list[StreamEstimate] = []
@@ -486,6 +643,88 @@ class StreamingQoEPipeline:
             raise
         finally:
             self._tick_rows = None
+        return emitted
+
+    def push_block(self, block: PacketBlock) -> list[StreamEstimate]:
+        """Feed a columnar :class:`~repro.net.block.PacketBlock` as one tick.
+
+        The struct-of-arrays hot path: the block is demultiplexed by its
+        pre-computed flow codes (one stable argsort, no per-packet dict
+        work), per-flow statistics update in bulk, and each flow's rows run
+        through the stream's columnar path -- vectorized window assignment
+        and array accumulator updates in trained mode
+        (:meth:`_FlowStream.push_rows`), the ordinary per-packet operators in
+        heuristic mode (frame assembly is inherently sequential).  Windows
+        closing anywhere in the block share one vectorized inference call,
+        exactly like :meth:`push_chunk`.
+
+        **Equivalence contract (pinned by tests):** feeding a capture through
+        ``push_block`` emits the same estimates as per-packet :meth:`push`,
+        bit-identically and *in the same order* -- every emission is tagged
+        with the block row that triggered it and the tick is emitted in
+        trigger order, so callers cannot observe which path produced a
+        stream.  Error handling matches ``push_chunk``: estimates of windows
+        that closed before a failure are held for the next call.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "this engine was flushed (end of capture); construct a new "
+                "StreamingQoEPipeline for the next capture"
+            )
+        held = self._held_estimates
+        self._held_estimates = []
+        if len(block) == 0:
+            return held
+        tick = self.trained and self._feature_rows is None
+        if tick:
+            if self._tick_rows is not None:
+                self._held_estimates = held
+                raise RuntimeError("push_chunk/push_block are not reentrant")
+            self._tick_rows = []
+        tagged: list[tuple[int, int, StreamEstimate]] = []
+        seq = 0
+        try:
+            if self.demux_flows:
+                groups: list[tuple[int | None, np.ndarray]] = block.flow_groups()
+            else:
+                groups = [(None, np.arange(len(block)))]
+            for code, idx in groups:
+                if code is None:
+                    key: FlowKey | None = None
+                else:
+                    key = block.flows[code]
+                    self.flow_table.update_bulk(
+                        key,
+                        n=len(idx),
+                        n_bytes=int(block.sizes[idx].sum()),
+                        first_ts=float(block.timestamps[idx[0]]),
+                        last_ts=float(block.timestamps[idx[-1]]),
+                    )
+                stream = self._streams.get(key)
+                if stream is None:
+                    stream = self._make_stream(key)
+                    self._streams[key] = stream
+                    self._flow_order.append(key)
+                rows = None if self.trained else block.packet_rows(idx)
+                for pos, estimate in stream.push_rows(
+                    block.timestamps[idx], block.sizes[idx], idx, rows=rows
+                ):
+                    tagged.append((pos, seq, StreamEstimate(flow=key, estimate=estimate)))
+                    seq += 1
+            tagged.sort(key=lambda item: (item[0], item[1]))
+            emitted = held + [item[2] for item in tagged]
+            if tick:
+                emitted.extend(self._flush_tick())
+        except BaseException:
+            tagged.sort(key=lambda item: (item[0], item[1]))
+            held.extend(item[2] for item in tagged)
+            if tick and self._tick_rows:
+                held.extend(self._flush_tick())
+            self._held_estimates = held
+            raise
+        finally:
+            if tick:
+                self._tick_rows = None
         return emitted
 
     def process(self, packets: Iterable[Packet]) -> Iterator[StreamEstimate]:
@@ -688,7 +927,9 @@ class StreamingQoEPipeline:
             self._feature_rows.append((features, window_start))
             return None
         if self._tick_rows is not None:
-            self._tick_rows.append((key, features, window_start))
+            stream = self._streams.get(key)
+            trigger_pos = stream.trigger_pos if stream is not None else None
+            self._tick_rows.append((key, features, window_start, trigger_pos))
             return None
         return self._predict_rows([features], [window_start])[0]
 
@@ -698,13 +939,17 @@ class StreamingQoEPipeline:
         if not rows:
             return []
         self._tick_rows = []
+        if rows[0][3] is not None:
+            # Block tick: flows were processed one after another, so restore
+            # the per-packet trigger order (stable on ties) before emitting.
+            rows.sort(key=lambda row: row[3])
         estimates = self._predict_rows(
-            [features for _, features, _ in rows],
-            [window_start for _, _, window_start in rows],
+            [features for _, features, _, _ in rows],
+            [window_start for _, _, window_start, _ in rows],
         )
         return [
             StreamEstimate(flow=key, estimate=estimate)
-            for (key, _, _), estimate in zip(rows, estimates)
+            for (key, _, _, _), estimate in zip(rows, estimates)
         ]
 
     def _predict_batch(self, rows: list[tuple[np.ndarray, float]]) -> list["PipelineEstimate"]:

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.net.trace import PacketTrace, window_grid
 from repro.webrtc.stats import GroundTruthLog, PerSecondStats
 

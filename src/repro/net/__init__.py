@@ -8,6 +8,7 @@ objects holding timestamped :class:`repro.net.packet.Packet` records, and
 traces can be persisted to / loaded from standard libpcap files.
 """
 
+from repro.net.block import PacketBlock, blocks_from_packets
 from repro.net.flows import FlowKey, FlowTable, five_tuple
 from repro.net.headers import (
     ETHERNET_HEADER_LEN,
@@ -24,6 +25,8 @@ __all__ = [
     "Packet",
     "IPv4Header",
     "UDPHeader",
+    "PacketBlock",
+    "blocks_from_packets",
     "PacketTrace",
     "TraceStats",
     "PcapReader",

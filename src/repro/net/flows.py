@@ -102,6 +102,22 @@ class FlowTable:
             self.add(packet)
         return self
 
+    def update_bulk(self, key: FlowKey, n: int, n_bytes: int, first_ts: float, last_ts: float) -> None:
+        """Account ``n`` packets of ``key`` in one step (the columnar path).
+
+        Equivalent to ``n`` arrival-ordered :meth:`add` calls for stats-only
+        tables (packet sizes are integers, so the byte sum is order-exact);
+        refuses on packet-retaining tables, which need the objects.
+        """
+        if self.store_packets:
+            raise RuntimeError("update_bulk requires store_packets=False (stats-only mode)")
+        stats = self._stats[key]
+        stats.packets += n
+        stats.bytes += n_bytes
+        if stats.first_seen is None:
+            stats.first_seen = first_ts
+        stats.last_seen = last_ts
+
     @property
     def flows(self) -> list[FlowKey]:
         return list(self._stats)

@@ -18,6 +18,7 @@ __all__ = [
     "UDP_HEADER_LEN",
     "encode_ethernet_ipv4_udp",
     "decode_ethernet_ipv4_udp",
+    "decode_ethernet_ipv4_udp_fields",
     "ipv4_checksum",
 ]
 
@@ -93,6 +94,24 @@ def decode_ethernet_ipv4_udp(frame: bytes) -> tuple[IPv4Header, UDPHeader, bytes
 
     Raises :class:`ValueError` for frames that are not IPv4/UDP or are truncated.
     """
+    src, dst, ttl, protocol, total_length, src_port, dst_port, udp_length, payload = (
+        decode_ethernet_ipv4_udp_fields(frame)
+    )
+    ip_header = IPv4Header(src=src, dst=dst, ttl=ttl, protocol=protocol, total_length=total_length)
+    udp_header = UDPHeader(src_port=src_port, dst_port=dst_port, length=udp_length)
+    return ip_header, udp_header, payload
+
+
+def decode_ethernet_ipv4_udp_fields(
+    frame: bytes,
+) -> tuple[str, str, int, int, int, int, int, int, bytes]:
+    """Field-level frame decode: plain scalars, no header-object construction.
+
+    The columnar pcap fast path uses this to fill arrays directly; the tuple
+    is ``(src, dst, ttl, protocol, total_length, src_port, dst_port,
+    udp_length, payload)``.  Same validation and errors as
+    :func:`decode_ethernet_ipv4_udp`.
+    """
     if len(frame) < ETHERNET_HEADER_LEN + IPV4_HEADER_MIN_LEN + UDP_HEADER_LEN:
         raise ValueError(f"frame too short to contain Ethernet/IPv4/UDP: {len(frame)} bytes")
 
@@ -126,6 +145,4 @@ def decode_ethernet_ipv4_udp(frame: bytes) -> tuple[IPv4Header, UDPHeader, bytes
     payload_end = udp_offset + udp_length
     payload = frame[payload_start:payload_end]
 
-    ip_header = IPv4Header(src=src, dst=dst, ttl=ttl, protocol=protocol, total_length=total_length)
-    udp_header = UDPHeader(src_port=src_port, dst_port=dst_port, length=udp_length)
-    return ip_header, udp_header, payload
+    return src, dst, ttl, protocol, total_length, src_port, dst_port, udp_length, payload

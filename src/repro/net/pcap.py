@@ -12,8 +12,14 @@ from __future__ import annotations
 import struct
 from pathlib import Path
 
-from repro.net.headers import decode_ethernet_ipv4_udp, encode_ethernet_ipv4_udp
-from repro.net.packet import MediaType, Packet
+import numpy as np
+
+from repro.net.headers import (
+    decode_ethernet_ipv4_udp,
+    decode_ethernet_ipv4_udp_fields,
+    encode_ethernet_ipv4_udp,
+)
+from repro.net.packet import Packet
 from repro.rtp.header import RTPHeader
 
 __all__ = ["PcapReader", "PcapWriter", "read_pcap", "write_pcap", "PCAP_MAGIC"]
@@ -96,7 +102,8 @@ class PcapReader:
         self.parse_rtp = parse_rtp
         self.strict = strict
 
-    def __iter__(self):
+    def _iter_records(self):
+        """Yield ``(timestamp, frame_bytes)`` raw records, honouring ``strict``."""
         with open(self.path, "rb") as handle:
             header = handle.read(_GLOBAL_HEADER.size)
             if len(header) < _GLOBAL_HEADER.size:
@@ -124,9 +131,115 @@ class PcapReader:
                     if not self.strict:
                         return
                     raise ValueError(f"{self.path}: truncated packet record")
-                packet = self._parse_frame(seconds + microseconds / 1e6, frame)
-                if packet is not None:
-                    yield packet
+                yield seconds + microseconds / 1e6, frame
+
+    def __iter__(self):
+        for timestamp, frame in self._iter_records():
+            packet = self._parse_frame(timestamp, frame)
+            if packet is not None:
+                yield packet
+
+    def read_blocks(self, chunk_size: int):
+        """Yield :class:`~repro.net.block.PacketBlock` chunks of the capture.
+
+        The columnar fast path: records are decoded field-by-field straight
+        into arrays (:func:`~repro.net.headers.decode_ethernet_ipv4_udp_fields`),
+        so no ``Packet`` / header dataclasses are ever constructed.  RTP
+        headers, when ``parse_rtp`` and present, land in the block's optional
+        object column.  Non-UDP records are skipped and truncation is handled
+        exactly as in record-by-record iteration.
+        """
+        from repro.net.block import PacketBlock
+        from repro.net.flows import FlowKey
+
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        parse_rtp = self.parse_rtp
+
+        columns: list[tuple] = []
+        rtp_values: list = []
+        has_rtp = False
+        addr_codes: dict[str, int] = {}
+        flow_table: dict[tuple, int] = {}
+        flow_keys: list[FlowKey] = []
+
+        def build() -> PacketBlock:
+            nonlocal columns, rtp_values, has_rtp, addr_codes, flow_table, flow_keys
+            n = len(columns)
+            arrays = np.array(
+                [row[:10] for row in columns], dtype=np.float64
+            )  # ts + 9 int fields; ints are exact in float64 at these ranges
+            rtp = None
+            if has_rtp:
+                rtp = np.empty(n, dtype=object)
+                rtp[:] = rtp_values
+            block = PacketBlock(
+                timestamps=arrays[:, 0].copy(),
+                sizes=arrays[:, 1].astype(np.int64),
+                src_codes=arrays[:, 2].astype(np.int32),
+                dst_codes=arrays[:, 3].astype(np.int32),
+                src_ports=arrays[:, 4].astype(np.int32),
+                dst_ports=arrays[:, 5].astype(np.int32),
+                protocols=arrays[:, 6].astype(np.int16),
+                ttls=arrays[:, 7].astype(np.int16),
+                total_lengths=arrays[:, 8].astype(np.int32),
+                udp_lengths=arrays[:, 9].astype(np.int32),
+                flow_codes=np.array([row[10] for row in columns], dtype=np.int32),
+                addresses=tuple(addr_codes),
+                flows=tuple(flow_keys),
+                rtp=rtp,
+            )
+            columns = []
+            rtp_values = []
+            has_rtp = False
+            addr_codes = {}
+            flow_table = {}
+            flow_keys = []
+            return block
+
+        for timestamp, frame in self._iter_records():
+            try:
+                fields = decode_ethernet_ipv4_udp_fields(frame)
+            except ValueError:
+                continue
+            src, dst, ttl, protocol, total_length, src_port, dst_port, udp_length, payload = fields
+            rtp = None
+            if parse_rtp and len(payload) >= 12 and (payload[0] >> 6) == 2:
+                try:
+                    rtp = RTPHeader.decode(payload)
+                except ValueError:
+                    rtp = None
+            src_code = addr_codes.setdefault(src, len(addr_codes))
+            dst_code = addr_codes.setdefault(dst, len(addr_codes))
+            composite = (src_code, src_port, dst_code, dst_port, protocol)
+            flow_code = flow_table.get(composite)
+            if flow_code is None:
+                flow_code = len(flow_table)
+                flow_table[composite] = flow_code
+                flow_keys.append(
+                    FlowKey(src=src, src_port=src_port, dst=dst, dst_port=dst_port, protocol=protocol)
+                )
+            columns.append(
+                (
+                    timestamp,
+                    len(payload),
+                    src_code,
+                    dst_code,
+                    src_port,
+                    dst_port,
+                    protocol,
+                    ttl,
+                    total_length,
+                    udp_length,
+                    flow_code,
+                )
+            )
+            rtp_values.append(rtp)
+            has_rtp = has_rtp or rtp is not None
+            if len(columns) >= chunk_size:
+                yield build()
+        if columns:
+            yield build()
 
     def _parse_frame(self, timestamp: float, frame: bytes) -> Packet | None:
         try:

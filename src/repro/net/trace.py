@@ -5,6 +5,18 @@ simulator produces one per call, the dataset builders persist them to pcap,
 and every estimator consumes them.  It keeps packets sorted by arrival time
 and provides the slicing/windowing/statistics primitives that the feature
 extraction (Table 1) and the heuristics need.
+
+Internally a trace is backed by **either or both** of two representations:
+
+* a sorted ``list[Packet]`` (full fidelity, including simulator metadata) --
+  what ``__init__`` builds and every object-level operation uses;
+* a columnar :class:`~repro.net.block.PacketBlock` (struct of arrays) --
+  built lazily via :attr:`block` and sliced directly by :meth:`time_slice`
+  / :meth:`iter_windows`, so windowing costs O(log n) index arithmetic plus
+  O(1) array views instead of per-packet list copies.
+
+Traces created from a block (:meth:`from_block`, block-sliced windows)
+materialize packet objects only when something actually needs them.
 """
 
 from __future__ import annotations
@@ -13,10 +25,14 @@ from bisect import bisect_left
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.net.packet import MediaType, Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import only needed for type checkers
+    from repro.net.block import PacketBlock
 
 __all__ = ["PacketTrace", "TraceStats", "window_grid"]
 
@@ -72,37 +88,89 @@ class PacketTrace:
     """
 
     def __init__(self, packets: Iterable[Packet] = (), vca: str | None = None) -> None:
-        self._packets: list[Packet] = sorted(packets, key=lambda p: p.timestamp)
+        self._packets: list[Packet] | None = sorted(packets, key=lambda p: p.timestamp)
         self.vca = vca
-        #: Cached timestamp array for O(log n) slicing; rebuilt after mutation.
+        #: Cached columnar view (rebuilt after mutation), built only when a
+        #: column consumer asks for it.
+        self._block: PacketBlock | None = None
+        #: Cheap timestamp-only cache for slicing/stats on list-backed
+        #: traces that never need the full columns.
         self._times: np.ndarray | None = None
+
+    @classmethod
+    def from_block(cls, block: "PacketBlock", vca: str | None = None) -> "PacketTrace":
+        """A trace backed by a (timestamp-sorted) columnar block.
+
+        Packet objects are materialized lazily: array-level operations
+        (slicing, windowing, statistics) run on the columns directly.
+        """
+        trace = cls.__new__(cls)
+        trace._packets = None
+        trace._block = block
+        trace._times = None
+        trace.vca = vca
+        return trace
+
+    # -- representation management --------------------------------------------
+
+    def _materialized(self) -> list[Packet]:
+        """The packet-object list, built from the block on first need."""
+        if self._packets is None:
+            assert self._block is not None
+            self._packets = self._block.to_packets()
+        return self._packets
+
+    @property
+    def block(self) -> "PacketBlock":
+        """The columnar (struct-of-arrays) view of this trace, cached.
+
+        Built on first access from the packet list (keeping the original
+        objects attached, so nothing is lost in-process); invalidated by
+        mutation.  Slicing operations share it: a ``time_slice`` of a trace
+        whose block exists is an O(1) pair of array views.
+        """
+        if self._block is None:
+            from repro.net.block import PacketBlock
+
+            self._block = PacketBlock.from_packets(self._materialized())
+        return self._block
+
+    def _invalidate(self) -> None:
+        self._block = None
+        self._times = None
 
     # -- container protocol --------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._packets)
+        if self._packets is not None:
+            return len(self._packets)
+        return len(self._block)
 
     def __iter__(self) -> Iterator[Packet]:
-        return iter(self._packets)
+        return iter(self._materialized())
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return PacketTrace(self._packets[index], vca=self.vca)
-        return self._packets[index]
+            if self._packets is None:
+                return PacketTrace.from_block(self._block[index], vca=self.vca)
+            sliced = PacketTrace(self._packets[index], vca=self.vca)
+            return sliced
+        return self._materialized()[index]
 
     def __bool__(self) -> bool:
-        return bool(self._packets)
+        return len(self) > 0
 
     # -- construction ---------------------------------------------------------
 
     def append(self, packet: Packet) -> None:
         """Add a packet, preserving timestamp order."""
-        if self._packets and packet.timestamp < self._packets[-1].timestamp:
-            position = bisect_left([p.timestamp for p in self._packets], packet.timestamp)
-            self._packets.insert(position, packet)
+        packets = self._materialized()
+        if packets and packet.timestamp < packets[-1].timestamp:
+            position = bisect_left([p.timestamp for p in packets], packet.timestamp)
+            packets.insert(position, packet)
         else:
-            self._packets.append(packet)
-        self._times = None
+            packets.append(packet)
+        self._invalidate()
 
     def extend(self, packets: Iterable[Packet]) -> None:
         for packet in packets:
@@ -119,16 +187,23 @@ class PacketTrace:
         """Persist the trace to a pcap file; returns the number of records."""
         from repro.net.pcap import write_pcap
 
-        return write_pcap(path, self._packets)
+        return write_pcap(path, self._materialized())
 
     # -- views ----------------------------------------------------------------
 
     @property
     def packets(self) -> list[Packet]:
-        return list(self._packets)
+        return list(self._materialized())
 
     def _timestamps_cached(self) -> np.ndarray:
-        """The timestamp array, cached across calls (invalidated on mutation)."""
+        """The timestamp array: the block column when built, else a flat cache.
+
+        Timestamp-only consumers (``start_time``, slicing index, stats) must
+        not force full columnarization of a list-backed trace; the block is
+        built only when something needs actual columns.
+        """
+        if self._block is not None:
+            return self._block.timestamps
         if self._times is None or len(self._times) != len(self._packets):
             self._times = np.fromiter(
                 (p.timestamp for p in self._packets), dtype=float, count=len(self._packets)
@@ -141,19 +216,21 @@ class PacketTrace:
 
     @property
     def sizes(self) -> np.ndarray:
+        if self._block is not None:
+            return self._block.sizes.astype(float)
         return np.array([p.payload_size for p in self._packets], dtype=float)
 
     @property
     def start_time(self) -> float:
-        if not self._packets:
+        if not len(self):
             return 0.0
-        return self._packets[0].timestamp
+        return float(self._timestamps_cached()[0])
 
     @property
     def end_time(self) -> float:
-        if not self._packets:
+        if not len(self):
             return 0.0
-        return self._packets[-1].timestamp
+        return float(self._timestamps_cached()[-1])
 
     @property
     def duration(self) -> float:
@@ -161,7 +238,7 @@ class PacketTrace:
 
     def filter(self, predicate) -> "PacketTrace":
         """A new trace containing only packets for which ``predicate`` is true."""
-        return PacketTrace((p for p in self._packets if predicate(p)), vca=self.vca)
+        return PacketTrace((p for p in self._materialized() if predicate(p)), vca=self.vca)
 
     def filter_media(self, *media_types: MediaType) -> "PacketTrace":
         """Ground-truth media filter (evaluation only)."""
@@ -170,35 +247,36 @@ class PacketTrace:
 
     def without_rtp(self) -> "PacketTrace":
         """The trace as seen by an IP/UDP-only monitor (RTP headers stripped)."""
-        return PacketTrace((p.without_rtp() for p in self._packets), vca=self.vca)
+        return PacketTrace((p.without_rtp() for p in self._materialized()), vca=self.vca)
 
     def without_ground_truth(self) -> "PacketTrace":
         """The trace with simulator annotations removed."""
-        return PacketTrace((p.without_ground_truth() for p in self._packets), vca=self.vca)
+        return PacketTrace((p.without_ground_truth() for p in self._materialized()), vca=self.vca)
 
     def time_slice(self, start: float, end: float) -> "PacketTrace":
         """Packets with ``start <= timestamp < end`` (binary search, O(log n)).
 
-        The timestamp array is cached on the trace, so repeated slicing (as in
-        windowing) costs O(log n + k) per call rather than O(n).
+        When the trace's columnar block exists, repeated slicing (as in
+        windowing) costs a binary search plus O(1) array views per call; the
+        resulting trace materializes packet objects only if asked for them.
         """
         times = self._timestamps_cached()
         lo = int(np.searchsorted(times, start, side="left"))
         hi = int(np.searchsorted(times, end, side="left"))
-        return PacketTrace(self._packets[lo:hi], vca=self.vca)
+        return self.time_slice_by_index(lo, hi)
 
     def shifted(self, offset: float) -> "PacketTrace":
         """A copy with every timestamp shifted by ``offset`` seconds."""
         from dataclasses import replace
 
         return PacketTrace(
-            (replace(p, timestamp=p.timestamp + offset) for p in self._packets),
+            (replace(p, timestamp=p.timestamp + offset) for p in self._materialized()),
             vca=self.vca,
         )
 
     def normalized(self) -> "PacketTrace":
         """A copy with timestamps re-based so the first packet arrives at t=0."""
-        if not self._packets:
+        if not len(self):
             return PacketTrace([], vca=self.vca)
         return self.shifted(-self.start_time)
 
@@ -206,18 +284,18 @@ class PacketTrace:
 
     def interarrival_times(self) -> np.ndarray:
         """Consecutive arrival-time differences (empty for <2 packets)."""
-        if len(self._packets) < 2:
+        if len(self) < 2:
             return np.array([], dtype=float)
         return np.diff(self.timestamps)
 
     def stats(self) -> TraceStats:
         """Aggregate statistics for the whole trace."""
-        if not self._packets:
+        if not len(self):
             return TraceStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
         sizes = self.sizes
         iats = self.interarrival_times()
         return TraceStats(
-            n_packets=len(self._packets),
+            n_packets=len(self),
             n_bytes=int(sizes.sum()),
             duration=self.duration,
             start_time=self.start_time,
@@ -236,7 +314,7 @@ class PacketTrace:
         """
         if window <= 0:
             raise ValueError("window must be positive")
-        if not self._packets:
+        if not len(self):
             return
         if start is None:
             start = self.start_time
@@ -246,4 +324,15 @@ class PacketTrace:
         for _, t, next_t in window_grid(start, window, end):
             lo = int(np.searchsorted(times, t, side="left"))
             hi = int(np.searchsorted(times, next_t, side="left"))
-            yield t, PacketTrace(self._packets[lo:hi], vca=self.vca)
+            yield t, self.time_slice_by_index(lo, hi)
+
+    def time_slice_by_index(self, lo: int, hi: int) -> "PacketTrace":
+        """The sub-trace of rows ``[lo, hi)`` (positions, not timestamps)."""
+        if self._packets is None:
+            return PacketTrace.from_block(self._block[lo:hi], vca=self.vca)
+        sliced = PacketTrace.__new__(PacketTrace)
+        sliced._packets = self._packets[lo:hi]
+        sliced._block = self._block[lo:hi] if self._block is not None else None
+        sliced._times = None
+        sliced.vca = self.vca
+        return sliced

@@ -22,6 +22,7 @@ from repro.sources.base import (
     PcapSource,
     TraceSource,
     as_source,
+    iter_blocks,
 )
 from repro.sources.merged import MergedSource
 
@@ -32,4 +33,5 @@ __all__ = [
     "PcapSource",
     "MergedSource",
     "as_source",
+    "iter_blocks",
 ]

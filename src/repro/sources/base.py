@@ -21,10 +21,23 @@ from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import Protocol, runtime_checkable
 
+from repro.net.block import PacketBlock, blocks_from_packets
 from repro.net.packet import Packet
 from repro.net.trace import PacketTrace
 
-__all__ = ["PacketSource", "IteratorSource", "TraceSource", "PcapSource", "as_source"]
+__all__ = [
+    "PacketSource",
+    "IteratorSource",
+    "TraceSource",
+    "PcapSource",
+    "as_source",
+    "iter_blocks",
+]
+
+#: Default packets per block on the columnar path: large enough to amortize
+#: per-block overhead, small enough to keep estimate latency and per-chunk
+#: memory bounded.
+DEFAULT_BLOCK_SIZE = 1024
 
 
 @runtime_checkable
@@ -32,6 +45,22 @@ class PacketSource(Protocol):
     """Anything that can be iterated to produce packets in arrival order."""
 
     def __iter__(self) -> Iterator[Packet]: ...  # pragma: no cover - protocol
+
+
+def iter_blocks(source: "PacketSource", chunk_size: int = DEFAULT_BLOCK_SIZE) -> Iterator[PacketBlock]:
+    """Iterate ``source`` as columnar :class:`~repro.net.block.PacketBlock`\\ s.
+
+    The generic adapter over the ``PacketSource`` protocol: sources that
+    implement a native ``blocks(chunk_size)`` fast path (``TraceSource``
+    slices its trace's cached columns, ``PcapSource`` decodes records
+    straight into arrays) are used as such; anything else is batched
+    packet-by-packet via :func:`~repro.net.block.blocks_from_packets`.
+    """
+    native = getattr(source, "blocks", None)
+    if callable(native):
+        yield from native(chunk_size)
+    else:
+        yield from blocks_from_packets(source, chunk_size)
 
 
 class IteratorSource:
@@ -46,6 +75,10 @@ class IteratorSource:
 
     def __iter__(self) -> Iterator[Packet]:
         return iter(self._packets)
+
+    def blocks(self, chunk_size: int = DEFAULT_BLOCK_SIZE) -> Iterator[PacketBlock]:
+        """Batch the wrapped iterable into columnar blocks (generic adapter)."""
+        return blocks_from_packets(self, chunk_size)
 
 
 class TraceSource:
@@ -62,6 +95,12 @@ class TraceSource:
 
     def __iter__(self) -> Iterator[Packet]:
         return iter(self.trace)
+
+    def blocks(self, chunk_size: int = DEFAULT_BLOCK_SIZE) -> Iterator[PacketBlock]:
+        """Native fast path: O(1) array slices of the trace's cached columns."""
+        block = self.trace.block
+        for lo in range(0, len(block), chunk_size):
+            yield block[lo : lo + chunk_size]
 
 
 class PcapSource:
@@ -98,6 +137,14 @@ class PcapSource:
 
     def __iter__(self) -> Iterator[Packet]:
         return iter(self._reader)
+
+    def blocks(self, chunk_size: int = DEFAULT_BLOCK_SIZE) -> Iterator[PacketBlock]:
+        """Native fast path: records decode straight into block columns.
+
+        No :class:`~repro.net.packet.Packet` objects are constructed; see
+        :meth:`PcapReader.read_blocks <repro.net.pcap.PcapReader.read_blocks>`.
+        """
+        return self._reader.read_blocks(chunk_size)
 
 
 def as_source(packets: "PacketSource | PacketTrace | str | Path | Iterable[Packet]") -> PacketSource:

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.net.packet import IPv4Header, MediaType, Packet, UDPHeader
 from repro.rtp.header import AUDIO_CLOCK_RATE, RTPHeader
-from repro.webrtc.packetizer import RTP_HEADER_LEN, PacketizerConfig
+from repro.webrtc.packetizer import PacketizerConfig
 from repro.webrtc.profiles import VCAProfile
 
 __all__ = ["AudioStream"]

@@ -9,7 +9,7 @@ log the paper obtains from ``webrtc-internals``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

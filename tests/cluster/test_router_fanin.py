@@ -202,3 +202,82 @@ class TestShardWorkerLoop:
         kind, shard_id, trace = messages[0]
         assert kind == "error" and shard_id == 7
         assert "not a saved QoE pipeline" in trace
+
+
+class TestRouterMemoizationAndBlocks:
+    """The per-flow shard memo and the columnar partition path."""
+
+    def test_assignment_pinned_and_unchanged_by_memoization(self):
+        """The memoized lookup returns exactly the uncached CRC-32 result.
+
+        The literal expectations pin the byte encoding itself: a change to
+        the hash or the canonical form would silently re-home every flow of
+        every deployed shard layout.
+        """
+        keys = [
+            FlowKey("192.0.2.10", 3478, f"10.0.0.{i}", 50000 + i) for i in range(1, 5)
+        ]
+        expected = {2: [0, 0, 1, 0], 4: [0, 2, 3, 2], 8: [4, 6, 7, 2]}
+        for n_shards, assignment in expected.items():
+            router = FlowShardRouter(n_shards)
+            assert [router.shard_of_key(key) for key in keys] == assignment
+            # Cached answers == uncached recomputation, for both directions.
+            for key in keys:
+                assert router.shard_of_key(key) == router._shard_of_key(key)
+                assert router.shard_of_key(key.reversed()) == router._shard_of_key(key)
+
+    def test_memo_hits_after_first_lookup(self):
+        router = FlowShardRouter(4)
+        packets = [make_packet(timestamp=0.01 * i, dst_port=5000 + i % 3) for i in range(30)]
+        for packet in packets:
+            router.shard_of(packet)
+        info = router.shard_of_key.cache_info()
+        assert info.misses == 3  # one CRC per unique flow
+        assert info.hits == 27  # every other packet is a dict hit
+
+    def test_partition_block_matches_per_packet_routing(self):
+        from repro.net.block import PacketBlock
+
+        packets = [
+            make_packet(timestamp=0.01 * i, dst="10.2.0.%d" % (i % 5 + 1), dst_port=5000 + i % 5)
+            for i in range(100)
+        ]
+        block = PacketBlock.from_packets(packets)
+        for n_shards in (1, 2, 4):
+            router = FlowShardRouter(n_shards)
+            parts = dict(router.partition_block(block))
+            # Every packet lands on exactly the shard per-packet routing picks.
+            seen = 0
+            for shard, sub in parts.items():
+                assert not sub.has_packet_cache  # wire-bound: arrays only
+                for packet in sub.to_packets():
+                    assert router.shard_of(packet) == shard
+                    seen += 1
+                # Arrival order is preserved within the shard.
+                assert list(sub.timestamps) == sorted(sub.timestamps)
+            assert seen == len(packets)
+
+    def test_partition_block_empty(self):
+        from repro.net.block import PacketBlock
+
+        assert FlowShardRouter(4).partition_block(PacketBlock.from_packets([])) == []
+
+    def test_partitioned_chunks_do_not_ship_capture_wide_tables(self):
+        """A chunk sliced from a whole-capture block must compact its side
+        tables before crossing the wire: one message must not carry every
+        flow the capture ever saw."""
+        from repro.net.block import PacketBlock
+
+        packets = [
+            make_packet(timestamp=0.001 * i, dst=f"10.2.{i % 40}.1", dst_port=5000 + i % 40)
+            for i in range(400)
+        ]
+        capture = PacketBlock.from_packets(packets)
+        assert len(capture.flows) == 40
+        chunk = capture[0:10]  # 10 packets, 10 distinct flows of the 40
+        router = FlowShardRouter(4)
+        for shard, sub in router.partition_block(chunk):
+            assert len(sub.flows) <= 10
+            assert len(sub.addresses) <= 11
+            for packet in sub.to_packets():
+                assert router.shard_of(packet) == shard

@@ -176,3 +176,41 @@ class TestShardedMonitorSurface:
         small, _, _ = run_sharded(pipeline, many_flow_packets, 2, chunk_size=64)
         large, _, _ = run_sharded(pipeline, many_flow_packets, 2, chunk_size=1024)
         assert as_rows(small.items) == as_rows(large.items)
+
+
+class TestColumnarTransport:
+    """The block transport (default) against the legacy packet transport."""
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_block_transport_matches_packet_transport(self, many_flow_packets, n_workers):
+        pipeline = QoEPipeline.for_vca("teams")
+        block_sink, block_report, _ = run_sharded(
+            pipeline, many_flow_packets, n_workers, transport="block"
+        )
+        packet_sink, packet_report, _ = run_sharded(
+            pipeline, many_flow_packets, n_workers, transport="packets"
+        )
+        assert as_rows(block_sink.items) == as_rows(packet_sink.items)
+        assert block_report == packet_report
+        assert block_report.n_packets == len(many_flow_packets)
+
+    def test_trained_block_transport_bit_identical_to_single_process(
+        self, many_flow_packets, trained_pipeline
+    ):
+        single = run_single(trained_pipeline, many_flow_packets)
+        expected = as_rows(fan_in_order(single.items))
+        for n_workers in (1, 2, 4):
+            sink, _, _ = run_sharded(
+                trained_pipeline, many_flow_packets, n_workers, transport="block"
+            )
+            assert as_rows(sink.items) == expected
+
+    def test_rejects_unknown_transport(self, many_flow_packets):
+        from repro import IteratorSource
+
+        with pytest.raises(ValueError, match="transport"):
+            ShardedQoEMonitor(
+                QoEPipeline.for_vca("teams"),
+                IteratorSource(iter(many_flow_packets)),
+                transport="carrier-pigeon",
+            )

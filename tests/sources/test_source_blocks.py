@@ -1,0 +1,123 @@
+"""Source-layer coverage: truncated captures and the blocks() surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import IPv4Header, Packet, UDPHeader
+from repro.net.pcap import write_pcap
+from repro.net.trace import PacketTrace
+from repro.sources import IteratorSource, MergedSource, PcapSource, TraceSource, iter_blocks
+
+
+def make_packets(n=40):
+    return [
+        Packet(
+            timestamp=0.01 * i,
+            ip=IPv4Header(src="192.0.2.10", dst=f"10.0.0.{i % 2 + 1}"),
+            udp=UDPHeader(src_port=3478, dst_port=50000 + i % 2),
+            payload_size=400 + i,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def truncated_pcap(tmp_path):
+    """A capture whose final record is cut mid-way (crashed writer)."""
+    path = tmp_path / "complete.pcap"
+    packets = make_packets()
+    write_pcap(path, packets)
+    data = path.read_bytes()
+    truncated = tmp_path / "truncated.pcap"
+    truncated.write_bytes(data[:-17])  # slice into the last record's frame
+    return truncated, packets
+
+
+class TestPcapSourceTruncation:
+    def test_strict_default_raises(self, truncated_pcap):
+        path, _ = truncated_pcap
+        with pytest.raises(ValueError, match="truncated"):
+            list(PcapSource(path))
+
+    def test_strict_false_yields_complete_records_then_stops(self, truncated_pcap):
+        path, packets = truncated_pcap
+        recovered = list(PcapSource(path, strict=False))
+        assert len(recovered) == len(packets) - 1
+        # pcap stores microsecond-quantized timestamps
+        assert [p.timestamp for p in recovered] == pytest.approx(
+            [p.timestamp for p in packets[:-1]], abs=1e-6
+        )
+        assert [p.payload_size for p in recovered] == [p.payload_size for p in packets[:-1]]
+
+    def test_strict_false_is_repeatable(self, truncated_pcap):
+        path, packets = truncated_pcap
+        source = PcapSource(path, strict=False)
+        assert len(list(source)) == len(packets) - 1
+        assert len(list(source)) == len(packets) - 1  # re-iteration reopens the file
+
+    def test_blocks_honour_strict_false(self, truncated_pcap):
+        """The columnar reader applies the same truncation tolerance."""
+        path, packets = truncated_pcap
+        blocks = list(PcapSource(path, strict=False).blocks(16))
+        recovered = [p for b in blocks for p in b.to_packets()]
+        assert len(recovered) == len(packets) - 1
+        assert [p.timestamp for p in recovered] == pytest.approx(
+            [p.timestamp for p in packets[:-1]], abs=1e-6
+        )
+
+    def test_blocks_strict_raises(self, truncated_pcap):
+        path, _ = truncated_pcap
+        with pytest.raises(ValueError, match="truncated"):
+            list(PcapSource(path).blocks(16))
+
+    def test_truncated_mid_record_header(self, tmp_path):
+        """Truncation inside the 16-byte record *header* is tolerated too."""
+        path = tmp_path / "header_cut.pcap"
+        packets = make_packets(5)
+        write_pcap(path, packets)
+        data = path.read_bytes()
+        # 24-byte global header, then records; keep four full records and
+        # 7 bytes of the fifth record header.
+        offset = 24
+        for _ in range(4):
+            import struct
+
+            captured = struct.unpack_from("<IIII", data, offset)[2]
+            offset += 16 + captured
+        path.write_bytes(data[: offset + 7])
+        assert len(list(PcapSource(path, strict=False))) == 4
+        with pytest.raises(ValueError, match="truncated record header"):
+            list(PcapSource(path))
+
+
+class TestBlocksSurfaces:
+    def test_every_source_kind_round_trips(self, tmp_path):
+        packets = make_packets()
+        path = tmp_path / "capture.pcap"
+        write_pcap(path, packets)
+        trace = PacketTrace(packets)
+        sources = [
+            TraceSource(trace),
+            PcapSource(path),
+            IteratorSource(iter(packets)),
+            MergedSource(IteratorSource(iter(packets[::2])), IteratorSource(iter(packets[1::2]))),
+        ]
+        for source in sources:
+            recovered = [p for b in iter_blocks(source, 7) for p in b.to_packets()]
+            assert [p.timestamp for p in recovered] == pytest.approx(
+                [p.timestamp for p in packets], abs=1e-6
+            )
+            assert [p.payload_size for p in recovered] == [p.payload_size for p in packets]
+
+    def test_trace_source_blocks_share_trace_columns(self):
+        trace = PacketTrace(make_packets())
+        source = TraceSource(trace)
+        blocks = list(source.blocks(16))
+        assert sum(len(b) for b in blocks) == len(trace)
+        assert blocks[0].timestamps.base is trace.block.timestamps  # views, no copy
+
+    def test_iter_blocks_generic_adapter_for_bare_iterables(self):
+        packets = make_packets(10)
+        blocks = list(iter_blocks(iter(packets), 4))
+        assert [len(b) for b in blocks] == [4, 4, 2]
