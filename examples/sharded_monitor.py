@@ -17,7 +17,9 @@ cluster layer simply partitions flows across worker processes:
 
 The output is estimate-for-estimate identical to the single-process
 ``QoEMonitor`` -- swap ``ShardedQoEMonitor(n_workers=...)`` in and nothing
-downstream changes.
+downstream changes.  Where the platform supports it, block payloads ride
+zero-copy shared-memory rings (``transport="shm"``); the pickling queue
+transport is the portable fallback with identical output.
 
 Run with:  python examples/sharded_monitor.py [n_workers]
 """
@@ -29,6 +31,7 @@ import sys
 import numpy as np
 
 from repro import QoEPipeline, ShardedQoEMonitor, SummarySink
+from repro.cluster import shm_available
 from repro.net.packet import IPv4Header, Packet, UDPHeader
 
 
@@ -62,14 +65,19 @@ def main() -> None:
     packets = synthetic_vantage_trace()
     pipeline = QoEPipeline.for_vca("teams")  # heuristic mode; train + save for ML
 
+    transport = "shm" if shm_available() else "block"
     summary = SummarySink(degraded_fps_threshold=18.0)
     monitor = ShardedQoEMonitor(
         pipeline,
         source=iter(packets),
         sinks=summary,
         n_workers=n_workers,
+        transport=transport,
     )
-    print(f"Sharding {len(packets)} packets across {n_workers} workers ...\n")
+    print(
+        f"Sharding {len(packets)} packets across {n_workers} workers "
+        f"(transport={transport!r}) ...\n"
+    )
     report = monitor.run()
 
     print(f"Per-shard load (router = CRC-32 of canonical 5-tuple, {n_workers} shards):")

@@ -10,6 +10,8 @@ The scale-out layer on top of the Source -> Engine -> Sink architecture:
   inference;
 * :class:`~repro.cluster.fanin.FanInSink` -- watermark-driven ordered merge
   of the per-shard estimate streams into any existing sink;
+* :class:`~repro.cluster.shm.BlockRing` -- the zero-copy shared-memory
+  block transport between router and workers (``transport="shm"``);
 * :class:`~repro.cluster.monitor.ShardedQoEMonitor` -- the facade, same
   ``run() -> MonitorReport`` surface as :class:`~repro.monitor.QoEMonitor`.
 
@@ -21,12 +23,15 @@ count.
 from repro.cluster.fanin import FanInSink, flow_sort_key
 from repro.cluster.monitor import ShardedQoEMonitor
 from repro.cluster.router import FlowShardRouter
+from repro.cluster.shm import BlockRing, shm_available
 from repro.cluster.worker import ShardWorker
 
 __all__ = [
     "FlowShardRouter",
     "ShardWorker",
     "FanInSink",
+    "BlockRing",
     "ShardedQoEMonitor",
     "flow_sort_key",
+    "shm_available",
 ]

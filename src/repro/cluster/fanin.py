@@ -92,8 +92,19 @@ class FanInSink(EstimateSink):
         ``low_watermark`` is the shard's bound on future emissions; ``None``
         leaves the previous bound in place.  Watermarks never move backwards
         (a stale bound cannot un-release anything).
+
+        A batch for a shard already marked :meth:`finish`\\ ed is a protocol
+        violation and raises: that shard's watermark is pinned at ``+inf``,
+        so a late item would release immediately -- possibly behind
+        estimates it should precede -- silently breaking the global
+        ``(window_start, flow)`` ordering contract.
         """
         self._check_shard(shard_id)
+        if self._finished[shard_id]:
+            raise RuntimeError(
+                f"shard {shard_id} already finished; a late batch would break "
+                "the fan-in's ordering contract"
+            )
         self._buffers[shard_id].extend(items)
         if low_watermark is not None and low_watermark > self._watermarks[shard_id]:
             self._watermarks[shard_id] = low_watermark

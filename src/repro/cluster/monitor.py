@@ -40,11 +40,14 @@ from repro.core.config import PipelineConfig
 from repro.core.pipeline import QoEPipeline
 from repro.cluster.fanin import FanInSink
 from repro.cluster.router import FlowShardRouter
+from repro.cluster.shm import DEFAULT_SLOT_BYTES, BlockRing, shm_available
 from repro.cluster.worker import ShardWorker
 from repro.monitor import MonitorReport
 from repro.sources.base import PacketSource, as_source, iter_blocks
 
 __all__ = ["ShardedQoEMonitor"]
+
+_TRANSPORTS = ("shm", "block", "packets")
 
 
 class ShardedQoEMonitor:
@@ -79,10 +82,29 @@ class ShardedQoEMonitor:
         per-shard sub-blocks with one CRC-32 per *unique flow* (memoized)
         and shipped as raw array buffers; workers run the engine's columnar
         :meth:`push_block <repro.core.streaming.StreamingQoEPipeline.push_block>`
-        path.  ``"packets"``: the legacy per-packet routing that pickles
-        ``Packet`` lists.  Both transports emit bit-identical estimates
-        (pinned by ``tests/cluster/``); blocks are simply faster on and off
-        the wire.
+        path.  ``"shm"``: the same routing, but sub-blocks are flat-encoded
+        straight into a per-shard shared-memory
+        :class:`~repro.cluster.shm.BlockRing` and decoded as zero-copy
+        array views on the worker side -- no pickling of the payload at
+        all; only slot tokens and control messages ride the queue.  Blocks
+        the codec cannot flatten (RTP object columns) or that exceed a ring
+        slot even after splitting fall back to the queue per block, so
+        output never depends on the transport.  ``"packets"``: the legacy
+        per-packet routing that pickles ``Packet`` lists.  All three
+        transports emit bit-identical estimates in identical order (pinned
+        by ``tests/cluster/``); they differ only in wire cost.
+    queue_depth:
+        Bound of each shard's input queue, and -- on the ``"shm"``
+        transport -- the slot count of its block ring (the two are paired:
+        every ring slot is announced by one queued token).  This is the
+        back-pressure knob: a slow shard can be at most ``queue_depth``
+        chunks behind the router before the router blocks.
+    shm_slot_bytes:
+        Payload capacity of one ring slot (``"shm"`` transport only;
+        default :data:`~repro.cluster.shm.DEFAULT_SLOT_BYTES`).  The router
+        splits blocks that encode larger than this, so it bounds shared
+        memory (``n_workers * queue_depth * shm_slot_bytes``), not what can
+        be shipped.
     start_method:
         ``multiprocessing`` start method; the default ``"spawn"`` is the
         portable choice and what the workers are built to be safe under.
@@ -104,11 +126,20 @@ class ShardedQoEMonitor:
         transport: str = "block",
         start_method: str = "spawn",
         new_flow_slack_s: float | None = None,
+        queue_depth: int = 8,
+        shm_slot_bytes: int | None = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
-        if transport not in ("block", "packets"):
-            raise ValueError(f"transport must be 'block' or 'packets', got {transport!r}")
+        if transport not in _TRANSPORTS:
+            raise ValueError(f"transport must be one of {_TRANSPORTS}, got {transport!r}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth!r}")
+        if transport == "shm" and not shm_available():
+            raise RuntimeError(
+                "transport='shm' requires a working multiprocessing.shared_memory "
+                "(unavailable or denied on this platform); use transport='block'"
+            )
         self.pipeline = pipeline
         self.source: PacketSource = as_source(source)
         if hasattr(sinks, "emit"):  # a single sink was passed
@@ -126,6 +157,8 @@ class ShardedQoEMonitor:
         self.transport = transport
         self.start_method = start_method
         self.new_flow_slack_s = new_flow_slack_s
+        self.queue_depth = queue_depth
+        self.shm_slot_bytes = shm_slot_bytes
         #: Per-shard ``{"n_packets", "n_flows", "n_evicted_flows"}`` of the
         #: completed run (index = shard id).
         self.shard_stats: list[dict] = []
@@ -169,36 +202,62 @@ class ShardedQoEMonitor:
         ctx = multiprocessing.get_context(self.start_method)
         out_queue = ctx.Queue()
         payload_json = json.dumps(self.pipeline.to_payload())
-        workers = [
-            ShardWorker(
-                shard_id,
-                payload_json,
-                self.config,
-                ctx,
-                out_queue,
-                new_flow_slack_s=self.new_flow_slack_s,
+        rings: list[BlockRing] = []
+        if self.transport == "shm":
+            slot_bytes = (
+                self.shm_slot_bytes if self.shm_slot_bytes is not None else DEFAULT_SLOT_BYTES
             )
-            for shard_id in range(self.n_workers)
-        ]
-        fan_in = FanInSink(self.sinks, n_shards=self.n_workers)
+            rings = [
+                BlockRing.create(ctx, self.queue_depth, slot_bytes)
+                for _ in range(self.n_workers)
+            ]
+        try:
+            workers = [
+                ShardWorker(
+                    shard_id,
+                    payload_json,
+                    self.config,
+                    ctx,
+                    out_queue,
+                    queue_depth=self.queue_depth,
+                    new_flow_slack_s=self.new_flow_slack_s,
+                    ring=rings[shard_id] if rings else None,
+                )
+                for shard_id in range(self.n_workers)
+            ]
+            fan_in = FanInSink(self.sinks, n_shards=self.n_workers)
+        except BaseException:
+            # The main try/finally below is not reached: reclaim the
+            # segments here or a failed construction (fd exhaustion, a bad
+            # sink) would leak them for the life of the parent.
+            for ring in rings:
+                ring.close()
+                ring.unlink()
+            raise
         self._out_queue = out_queue
         self._fan_in = fan_in
         self._workers = workers
+        self._rings = rings
         self._done = [False] * self.n_workers
         self._stats: list[dict | None] = [None] * self.n_workers
         n_packets = 0
         try:
             for worker in workers:
                 worker.start()
-            if self.transport == "block":
+            if self.transport in ("block", "shm"):
                 # Columnar path: the source yields struct-of-arrays blocks
                 # (native fast paths for traces and pcap files), the router
                 # hashes once per unique flow, and what crosses the process
-                # boundary is array buffers -- no per-packet pickling.
+                # boundary is array buffers -- no per-packet pickling.  On
+                # the shm transport the buffers do not even cross: they are
+                # written once into the shard's ring and read in place.
+                send_block = self._send_shm if self.transport == "shm" else (
+                    lambda worker, sub: self._send(worker, ("block", sub))
+                )
                 for block in iter_blocks(self.source, self.chunk_size):
                     n_packets += len(block)
                     for shard_id, sub_block in self.router.partition_block(block):
-                        self._send(workers[shard_id], ("block", sub_block))
+                        send_block(workers[shard_id], sub_block)
                     # Drain whatever the workers produced so far: estimates
                     # reach the sinks while the run is in flight (live
                     # scrapes work) and parent memory stays O(in-flight),
@@ -224,14 +283,23 @@ class ShardedQoEMonitor:
         finally:
             # Merge whatever arrived, close the caller's sinks exactly once,
             # and never leave worker processes (or their queue feeder
-            # threads) behind to block interpreter exit.
-            fan_in.close()
-            for worker in workers:
-                worker.terminate()
-                worker.join(timeout=5.0)
-                worker.release_queues()
-            out_queue.cancel_join_thread()
-            out_queue.close()
+            # threads) behind to block interpreter exit.  Shared-memory
+            # rings are unlinked here unconditionally -- normal exit, abort,
+            # and worker death all reclaim the OS segments -- and the
+            # process/segment cleanup must run even when a caller's sink
+            # raises again out of fan_in.close().
+            try:
+                fan_in.close()
+            finally:
+                for worker in workers:
+                    worker.terminate()
+                    worker.join(timeout=5.0)
+                    worker.release_queues()
+                for ring in rings:
+                    ring.close()
+                    ring.unlink()
+                out_queue.cancel_join_thread()
+                out_queue.close()
         self.shard_stats = [stats if stats is not None else {} for stats in self._stats]
         return MonitorReport(
             n_packets=n_packets,
@@ -257,6 +325,46 @@ class ShardedQoEMonitor:
                         f"shard worker {worker.shard_id} died (exit code "
                         f"{worker.process.exitcode}) before accepting input"
                     ) from None
+
+    def _send_shm(self, worker: ShardWorker, block) -> None:
+        """Ship ``block`` to ``worker`` over its shared-memory ring.
+
+        Blocks the codec cannot flatten (RTP object columns) fall back to
+        the pickling queue; blocks larger than a ring slot are split by
+        rows (each half re-compacted so it carries only its own side
+        tables) until they fit.  Each successful ring push is announced
+        with a ``("shm",)`` token on the worker's queue -- the queue stays
+        the ordering spine, so ring payloads and fallback messages arrive
+        in exactly the order they were routed.
+        """
+        ring = worker.ring
+        try:
+            size = block.byte_size()
+        except ValueError:
+            # Not flat-encodable (object columns): the queue still is.
+            self._send(worker, ("block", block))
+            return
+        if size > ring.slot_bytes:
+            if len(block) <= 1:
+                # A single row that out-sizes a slot (pathological side
+                # tables): the queue handles it, correctness over zero-copy.
+                self._send(worker, ("block", block))
+                return
+            mid = len(block) // 2
+            self._send_shm(worker, block[:mid].compact())
+            self._send_shm(worker, block[mid:].compact())
+            return
+        # Bounded push that keeps draining output, mirroring _send: ring
+        # back-pressure must not deadlock the parent against a worker
+        # blocked on its own output, and a dead worker must raise.
+        while not ring.try_push(block, timeout=0.05):
+            self._pump()
+            if not worker.alive and not self._done[worker.shard_id]:
+                raise RuntimeError(
+                    f"shard worker {worker.shard_id} died (exit code "
+                    f"{worker.process.exitcode}) before accepting input"
+                ) from None
+        self._send(worker, ("shm",))
 
     def _pump(self) -> None:
         """Process every worker message currently available, without blocking."""

@@ -1,0 +1,274 @@
+"""Shared-memory block rings: the zero-copy router -> worker transport.
+
+The queue transports move a :class:`~repro.net.block.PacketBlock` by
+pickling its arrays into a pipe and unpickling them on the other side --
+two copies plus per-message interpreter work, which is exactly what
+dominates the sharded monitor's 1-worker overhead (``BENCH_columnar``:
+~64k pps over the queue vs ~287k pps for the same blocks pushed
+in-process).  Blocks are already contiguous struct-of-arrays batches, so
+the fix is the standard one: put the bytes in a
+:class:`multiprocessing.shared_memory.SharedMemory` segment both sides map,
+and move only *slot tokens* through the queue.
+
+:class:`BlockRing` is a fixed-slot single-producer/single-consumer ring:
+
+* one ring per shard, created by the parent (the producer) and attached by
+  that shard's worker (the consumer);
+* ``slot_count`` slots of ``slot_bytes`` each; a block is encoded into a
+  slot with the :meth:`PacketBlock.write_into
+  <repro.net.block.PacketBlock.write_into>` flat-buffer codec and decoded
+  as zero-copy array views with :meth:`PacketBlock.read_from
+  <repro.net.block.PacketBlock.read_from>`;
+* per-slot **ready/free semaphores** provide back-pressure: the producer
+  blocks (with a timeout, so it can keep draining worker output) when the
+  ring is full, the consumer when it is empty.  Both sides walk the slots
+  in order, so FIFO needs no shared indices;
+* the consumer must finish with a popped block **before** calling
+  :meth:`release` -- the slot is recycled immediately after.  The engine's
+  ``push_block`` copies everything it keeps (fancy indexing copies), so
+  "consume then release" is safe without an extra memcpy;
+* lifecycle is explicit: workers :meth:`close` their mapping, the owner
+  :meth:`unlink`\\ s the segment.  The sharded monitor unlinks in a
+  ``finally`` so normal exit, aborts, and worker death all reclaim the
+  segment (asserted by ``tests/cluster/test_shm_transport.py``).
+
+Workers attach **untracked**: Python's ``resource_tracker`` would otherwise
+count the segment once per process and complain (or double-unlink) when the
+parent reclaims it.  Python 3.13+ exposes ``track=False``; on older
+versions the registration is reverted by hand.
+"""
+
+from __future__ import annotations
+
+from repro.net.block import PacketBlock
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = ["BlockRing", "RingHandle", "shm_available", "DEFAULT_SLOT_BYTES"]
+
+#: Default slot payload capacity.  Sized for the monitor's default
+#: ``chunk_size`` with generous headroom (a 1024-row block with every
+#: optional column is ~58 KiB); the router splits anything larger.
+DEFAULT_SLOT_BYTES = 1 << 20
+
+#: Per-slot length prefix (written as a tiny int64 view, 8-aligned).
+_SLOT_HEADER_BYTES = 8
+
+
+def shm_available() -> bool:
+    """Whether :mod:`multiprocessing.shared_memory` works on this platform.
+
+    Checks by actually creating (and immediately reclaiming) a minimal
+    segment: some sandboxes ship the module but deny ``/dev/shm``.
+    """
+    if _shared_memory is None:
+        return False
+    try:
+        segment = _shared_memory.SharedMemory(create=True, size=8)
+    except (OSError, PermissionError):
+        return False
+    segment.close()
+    segment.unlink()
+    return True
+
+
+def _attach_untracked(name: str):
+    """Attach to an existing segment without resource-tracker registration."""
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)  # 3.13+
+    except TypeError:
+        # Pre-3.13: attaching registers the segment with this process's
+        # resource tracker, which would then fight the owner over cleanup.
+        # Suppress the registration for the duration of the attach.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shared_memory(name_, rtype):  # pragma: no branch
+            if rtype != "shared_memory":
+                original(name_, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class RingHandle:
+    """The worker-side descriptor of a ring: everything :meth:`attach` needs.
+
+    Picklable only the way ``multiprocessing`` primitives are -- as part of
+    the ``Process`` arguments during spawn -- which is exactly how it
+    travels.
+    """
+
+    def __init__(self, name: str, slot_count: int, slot_bytes: int, ready, free) -> None:
+        self.name = name
+        self.slot_count = slot_count
+        self.slot_bytes = slot_bytes
+        self.ready = ready
+        self.free = free
+
+    def attach(self) -> "BlockRing":
+        """Map the segment in this (worker) process; consumer side."""
+        segment = _attach_untracked(self.name)
+        return BlockRing(segment, self.slot_count, self.slot_bytes, self.ready, self.free, owner=False)
+
+
+class BlockRing:
+    """A fixed-slot SPSC ring of flat-encoded blocks over shared memory.
+
+    Construct with :meth:`create` (producer/owner side) or
+    :meth:`RingHandle.attach` (consumer side); the ``__init__`` signature is
+    internal plumbing shared by both.
+    """
+
+    def __init__(self, segment, slot_count: int, slot_bytes: int, ready, free, owner: bool) -> None:
+        self._segment = segment
+        self.slot_count = slot_count
+        self.slot_bytes = slot_bytes
+        self._ready = ready
+        self._free = free
+        self._owner = owner
+        self._stride = _SLOT_HEADER_BYTES + slot_bytes
+        # Producer and consumer each track their own cursor; SPSC in slot
+        # order means they never need to share it.
+        self._cursor = 0
+        self._popped: memoryview | None = None
+        self._closed = False
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, ctx, slot_count: int, slot_bytes: int = DEFAULT_SLOT_BYTES) -> "BlockRing":
+        """Allocate a ring: ``slot_count`` slots of ``slot_bytes`` payload.
+
+        ``ctx`` is the multiprocessing context the worker will be spawned
+        from (its semaphores must match the start method).  The creating
+        process is the owner: it must eventually call :meth:`unlink`.
+        """
+        if _shared_memory is None:  # pragma: no cover - platform guard
+            raise RuntimeError("multiprocessing.shared_memory is unavailable on this platform")
+        if slot_count < 1:
+            raise ValueError(f"slot_count must be >= 1, got {slot_count!r}")
+        if slot_bytes < 1024:
+            raise ValueError(f"slot_bytes must be >= 1024, got {slot_bytes!r}")
+        slot_bytes = (slot_bytes + 7) & ~7
+        segment = _shared_memory.SharedMemory(
+            create=True, size=slot_count * (_SLOT_HEADER_BYTES + slot_bytes)
+        )
+        ready = tuple(ctx.Semaphore(0) for _ in range(slot_count))
+        free = tuple(ctx.Semaphore(1) for _ in range(slot_count))
+        return cls(segment, slot_count, slot_bytes, ready, free, owner=True)
+
+    def handle(self) -> RingHandle:
+        """The descriptor to pass into the worker process's arguments."""
+        return RingHandle(self._segment.name, self.slot_count, self.slot_bytes, self._ready, self._free)
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name (for leak assertions in tests)."""
+        return self._segment.name
+
+    # -- producer side ---------------------------------------------------------
+
+    def try_push(self, block: PacketBlock, timeout: float | None = None) -> bool:
+        """Encode ``block`` into the next slot; False if no slot freed in time.
+
+        Raises :class:`ValueError` -- without consuming a slot -- when the
+        block cannot fit (``byte_size() > slot_bytes``, split it first) or
+        cannot be flat-encoded at all (RTP columns); the caller falls back
+        to the queue transport for those.
+        """
+        size = block.byte_size()
+        if size > self.slot_bytes:
+            raise ValueError(
+                f"block of {size} bytes exceeds the ring's {self.slot_bytes}-byte slots"
+            )
+        if not self._free[self._cursor].acquire(True, timeout):
+            return False
+        offset = self._cursor * self._stride
+        buf = self._segment.buf
+        header = memoryview(buf)[offset : offset + _SLOT_HEADER_BYTES]
+        header[:] = size.to_bytes(_SLOT_HEADER_BYTES, "little")
+        payload = memoryview(buf)[offset + _SLOT_HEADER_BYTES : offset + self._stride]
+        try:
+            block.write_into(payload)
+        finally:
+            header.release()
+            payload.release()
+        self._ready[self._cursor].release()
+        self._cursor = (self._cursor + 1) % self.slot_count
+        return True
+
+    # -- consumer side ---------------------------------------------------------
+
+    def pop(self, timeout: float | None = None) -> PacketBlock | None:
+        """Decode the oldest pending slot; ``None`` on timeout.
+
+        The returned block's columns are views into the slot: consume it
+        fully (e.g. ``engine.push_block``) and then call :meth:`release`.
+        At most one slot may be outstanding at a time.
+        """
+        if self._popped is not None:
+            raise RuntimeError("previous block not released; call release() first")
+        if not self._ready[self._cursor].acquire(True, timeout):
+            return None
+        offset = self._cursor * self._stride
+        buf = self._segment.buf
+        size = int.from_bytes(bytes(buf[offset : offset + _SLOT_HEADER_BYTES]), "little")
+        payload = memoryview(buf)[
+            offset + _SLOT_HEADER_BYTES : offset + _SLOT_HEADER_BYTES + size
+        ]
+        self._popped = payload
+        return PacketBlock.read_from(payload)
+
+    def release(self) -> None:
+        """Recycle the slot of the last :meth:`pop`\\ ped block.
+
+        The block decoded from it (and anything still viewing its buffer)
+        must be dropped before calling this; the producer will overwrite the
+        slot immediately.
+        """
+        if self._popped is None:
+            raise RuntimeError("no popped block to release")
+        self._popped.release()
+        self._popped = None
+        self._free[self._cursor].release()
+        self._cursor = (self._cursor + 1) % self.slot_count
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap the segment in this process (both sides; idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._popped is not None:
+            try:
+                self._popped.release()
+            except BufferError:
+                # A decoded block still views the slot (e.g. the worker's
+                # error path closes with its last chunk in scope); the
+                # mapping goes when the process does.
+                pass
+            self._popped = None
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - a stray view outlived its block
+            # The mapping stays until the process exits; the segment itself
+            # is still reclaimed by the owner's unlink().
+            pass
+
+    def unlink(self) -> None:
+        """Reclaim the OS segment (owner only; idempotent, tolerates races)."""
+        if not self._owner:
+            return
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass

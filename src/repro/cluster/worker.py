@@ -12,9 +12,13 @@ the cluster's wire format: a worker is indistinguishable from a deployment
 site that loaded the model from disk, and reloaded forests predict
 bit-identically by the PR 2 persistence contract.
 
-Protocol (all messages are plain tuples over ``multiprocessing`` queues)::
+Protocol (control messages are plain tuples over ``multiprocessing``
+queues; with the shared-memory transport the block *payloads* ride a
+:class:`~repro.cluster.shm.BlockRing` instead and the queue carries only
+slot tokens)::
 
     parent -> worker:  ("block", PacketBlock)          one routed tick (columnar)
+                       ("shm",)                        one routed tick (pop the ring)
                        ("chunk", [Packet, ...])        one routed tick (legacy)
                        ("stop",)                       end of source
     worker -> parent:  ("progress", shard_id, [StreamEstimate], low_watermark)
@@ -26,8 +30,18 @@ The columnar ``("block", ...)`` transport is the default: a
 buffers plus small side tables, instead of one Python object graph per
 packet, and the worker feeds it to :meth:`StreamingQoEPipeline.push_block
 <repro.core.streaming.StreamingQoEPipeline.push_block>` without ever
-materializing ``Packet`` objects in trained mode.  The two transports
-produce bit-identical estimates (pinned by ``tests/cluster/``).
+materializing ``Packet`` objects in trained mode.  The ``("shm",)`` token
+goes one further: the parent flat-encodes the block straight into a
+shared-memory ring slot and the worker decodes zero-copy array views over
+that slot, consumes them (``push_block`` copies what it keeps), and only
+then releases the slot for reuse.  Every transport produces bit-identical
+estimates in identical order (pinned by ``tests/cluster/``).
+
+The worker's output protocol is linear by construction:
+``progress* -> done | error``.  :class:`_WorkerChannel` enforces it --
+a worker that tried to emit ``progress`` after ``done`` would pin the
+fan-in's watermark assumptions (a finished shard's watermark is ``+inf``),
+so the channel raises instead of letting the message out.
 
 Inside the worker each chunk is one inference tick: windows that close in
 it -- across all of the shard's flows -- are buffered and pushed through the
@@ -57,6 +71,37 @@ __all__ = ["ShardWorker", "shard_worker_main"]
 DEFAULT_NEW_FLOW_SLACK_WINDOWS = 2.0
 
 
+class _WorkerChannel:
+    """The worker's output queue with the linear protocol enforced.
+
+    ``progress* -> done | error``: once :meth:`done` has been sent the shard
+    is finished on the parent side (its fan-in watermark is pinned at
+    ``+inf``), so a late ``progress`` would be a protocol bug that the
+    fan-in could only mis-order -- raise here, at the source, instead.
+    """
+
+    def __init__(self, shard_id: int, out_queue) -> None:
+        self.shard_id = shard_id
+        self._out_queue = out_queue
+        self.done_sent = False
+
+    def progress(self, items, low_watermark) -> None:
+        if self.done_sent:
+            raise RuntimeError(
+                f"shard {self.shard_id} attempted to emit progress after done"
+            )
+        self._out_queue.put(("progress", self.shard_id, items, low_watermark))
+
+    def done(self, items, stats) -> None:
+        if self.done_sent:
+            raise RuntimeError(f"shard {self.shard_id} reported done twice")
+        self.done_sent = True
+        self._out_queue.put(("done", self.shard_id, items, stats))
+
+    def error(self, trace: str) -> None:
+        self._out_queue.put(("error", self.shard_id, trace))
+
+
 def shard_worker_main(
     shard_id: int,
     pipeline_payload: str,
@@ -64,9 +109,14 @@ def shard_worker_main(
     new_flow_slack_s: float | None,
     in_queue,
     out_queue,
+    ring_handle=None,
 ) -> None:
     """Worker process entry point (module-level, hence spawn-picklable)."""
+    channel = _WorkerChannel(shard_id, out_queue)
+    ring = None
     try:
+        if ring_handle is not None:
+            ring = ring_handle.attach()
         pipeline = QoEPipeline.from_payload(json.loads(pipeline_payload))
         config = (
             PipelineConfig.from_dict(config_dict) if config_dict is not None else pipeline.config
@@ -82,16 +132,24 @@ def shard_worker_main(
         evicted_keys: set = set()
         while True:
             message = in_queue.get()
-            if message[0] == "stop":
+            kind = message[0]
+            if kind == "stop":
                 break
-            chunk = message[1]
+            if kind == "shm":
+                # The paired slot is guaranteed pending: the parent releases
+                # the slot's ready semaphore before enqueueing the token, and
+                # both sides walk ring slots in token order.
+                chunk = ring.pop()
+            else:
+                chunk = message[1]
             n_packets += len(chunk)
-            if message[0] == "block":
+            is_block = kind in ("block", "shm")
+            if is_block:
                 emitted = engine.push_block(chunk)
             else:
                 emitted = engine.push_chunk(chunk)
             if idle_timeout is not None and len(chunk):
-                if message[0] == "block":
+                if is_block:
                     chunk_newest = float(chunk.timestamps.max())
                 else:
                     chunk_newest = max(packet.timestamp for packet in chunk)
@@ -103,18 +161,25 @@ def shard_worker_main(
                     n_evicted += len(sweep_flows)
                     evicted_keys.update(sweep_flows)
                     emitted.extend(evicted)
-            out_queue.put(
-                ("progress", shard_id, emitted, engine.low_watermark(new_flow_slack_s))
-            )
+            if kind == "shm":
+                # Consumed: push_block copied everything it keeps, and the
+                # eviction timestamp above is a scalar.  Drop the last view
+                # of the slot, then recycle it for the parent.
+                chunk = None
+                ring.release()
+            channel.progress(emitted, engine.low_watermark(new_flow_slack_s))
         tail = engine.flush()
         stats = {
             "n_packets": n_packets,
             "n_flows": len(evicted_keys | set(engine.flows)),
             "n_evicted_flows": n_evicted,
         }
-        out_queue.put(("done", shard_id, tail, stats))
+        channel.done(tail, stats)
     except BaseException:
-        out_queue.put(("error", shard_id, traceback.format_exc()))
+        channel.error(traceback.format_exc())
+    finally:
+        if ring is not None:
+            ring.close()
 
 
 class ShardWorker:
@@ -135,9 +200,14 @@ class ShardWorker:
         out_queue,
         queue_depth: int = 8,
         new_flow_slack_s: float | None = None,
+        ring=None,
     ) -> None:
         self.shard_id = shard_id
         self.in_queue = ctx.Queue(maxsize=queue_depth)
+        #: The shard's shared-memory block ring (``None`` on the queue
+        #: transports).  The parent is the producer; the worker attaches the
+        #: consumer side from the handle passed in its arguments.
+        self.ring = ring
         self.process = ctx.Process(
             target=shard_worker_main,
             args=(
@@ -147,6 +217,7 @@ class ShardWorker:
                 new_flow_slack_s,
                 self.in_queue,
                 out_queue,
+                ring.handle() if ring is not None else None,
             ),
             daemon=True,
             name=f"qoe-shard-{shard_id}",

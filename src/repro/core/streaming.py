@@ -767,18 +767,30 @@ class StreamingQoEPipeline:
         if newest is None:
             return []
         emitted: list[StreamEstimate] = []
-        for key in list(self._flow_order):
-            stream = self._streams[key]
-            # Keyed off last *arrival*, not the watermark: a tiny flow whose
-            # only packets still sit in the reorder buffer must be evictable
-            # too (its buffered packets are drained by the flush).
-            if stream.last_seen is not None and newest - stream.last_seen > idle_s:
-                for estimate in stream.flush():
-                    emitted.append(StreamEstimate(flow=key, estimate=estimate))
-                del self._streams[key]
-                self._flow_order.remove(key)
-                if key is not None:
-                    self.flow_table.remove(key)
+        evicted_any = False
+        try:
+            for key in self._flow_order:
+                stream = self._streams[key]
+                # Keyed off last *arrival*, not the watermark: a tiny flow
+                # whose only packets still sit in the reorder buffer must be
+                # evictable too (its buffered packets are drained by the
+                # flush).
+                if stream.last_seen is not None and newest - stream.last_seen > idle_s:
+                    for estimate in stream.flush():
+                        emitted.append(StreamEstimate(flow=key, estimate=estimate))
+                    del self._streams[key]
+                    evicted_any = True
+                    if key is not None:
+                        self.flow_table.remove(key)
+        finally:
+            # One O(flows) rebuild for the whole sweep: a per-eviction
+            # ``list.remove`` would make a mass eviction O(evicted x flows),
+            # a visible stall on monitors tracking tens of thousands of
+            # flows.  Survivors keep their first-seen order.  Runs even if a
+            # flush raised mid-sweep, so _flow_order and _streams can never
+            # drift apart (a stale key would poison every later sweep).
+            if evicted_any:
+                self._flow_order = [key for key in self._flow_order if key in self._streams]
         return emitted
 
     def collect(self, packets: Iterable[Packet], batch: bool = False):

@@ -34,6 +34,8 @@ construction, and consumers must not either.
 
 from __future__ import annotations
 
+import json
+import struct
 from collections.abc import Iterable, Sequence
 from typing import Iterator
 
@@ -48,6 +50,51 @@ __all__ = ["PacketBlock", "blocks_from_packets"]
 #: Stable media-type coding for the optional ground-truth column (-1 = None).
 _MEDIA_ORDER: tuple[MediaType, ...] = tuple(MediaType)
 _MEDIA_CODE = {media: code for code, media in enumerate(_MEDIA_ORDER)}
+
+# -- flat-buffer codec layout (the shared-memory wire format) ------------------
+#
+# A block encodes into one contiguous little-endian buffer:
+#
+#   header | meta JSON | column 0 | column 1 | ... | [media_codes] | [frame_ids]
+#
+# where the header is ``_CODEC_HEADER`` (magic, version, flags, row count,
+# meta length), the meta blob is the interned side tables (addresses + flow
+# keys) as compact JSON, and every section is padded to an 8-byte boundary so
+# each column lands aligned for its dtype and ``read_from`` can hand out
+# zero-copy ``np.frombuffer`` views.  RTP columns are object arrays and have
+# no flat encoding; the shm transport falls back to the pickling queue for
+# blocks that carry them (rare outside the simulator).
+
+_CODEC_MAGIC = b"PBK1"
+_CODEC_VERSION = 1
+#: magic, version, flags, n_rows, meta_len (24 bytes, itself 8-aligned).
+_CODEC_HEADER = struct.Struct("<4sHHqq")
+_CODEC_FLAG_MEDIA = 1 << 0
+_CODEC_FLAG_FRAMES = 1 << 1
+
+#: The per-row numeric columns in buffer order, with their wire dtypes
+#: (identical to what :meth:`PacketBlock.from_packets` builds, so a decoded
+#: block computes bit-identically to the block that was encoded).
+_CODEC_COLUMNS: tuple[tuple[str, np.dtype], ...] = (
+    ("timestamps", np.dtype("<f8")),
+    ("sizes", np.dtype("<i8")),
+    ("src_codes", np.dtype("<i4")),
+    ("dst_codes", np.dtype("<i4")),
+    ("src_ports", np.dtype("<i4")),
+    ("dst_ports", np.dtype("<i4")),
+    ("protocols", np.dtype("<i2")),
+    ("ttls", np.dtype("<i2")),
+    ("total_lengths", np.dtype("<i4")),
+    ("udp_lengths", np.dtype("<i4")),
+    ("flow_codes", np.dtype("<i4")),
+)
+_CODEC_MEDIA_DTYPE = np.dtype("<i1")
+_CODEC_FRAME_DTYPE = np.dtype("<i8")
+
+
+def _pad8(n: int) -> int:
+    """Round ``n`` up to the next multiple of 8 (section alignment)."""
+    return (n + 7) & ~7
 
 
 class _BlockRow:
@@ -120,6 +167,7 @@ class PacketBlock:
         "media_codes",
         "frame_ids",
         "_packets",
+        "_meta_cache",
     )
 
     def __init__(
@@ -159,6 +207,9 @@ class PacketBlock:
         self.media_codes = media_codes
         self.frame_ids = frame_ids
         self._packets = _packets
+        # Lazily-encoded codec side tables (blocks are immutable, so the
+        # bytes can be computed once and shared by byte_size/write_into).
+        self._meta_cache: bytes | None = None
 
     # -- construction ----------------------------------------------------------
 
@@ -584,12 +635,135 @@ class PacketBlock:
     def iter_packets(self) -> Iterator[Packet]:
         return iter(self.to_packets())
 
+    # -- flat-buffer codec (the shared-memory wire format) ---------------------
+
+    def _codec_meta(self) -> bytes:
+        """The interned side tables as a compact JSON blob (cached)."""
+        if self._meta_cache is None:
+            self._meta_cache = json.dumps(
+                {
+                    "addresses": list(self.addresses),
+                    "flows": [
+                        [f.src, f.src_port, f.dst, f.dst_port, f.protocol] for f in self.flows
+                    ],
+                },
+                separators=(",", ":"),
+            ).encode()
+        return self._meta_cache
+
+    def _codec_check(self) -> None:
+        if self.rtp is not None:
+            raise ValueError(
+                "blocks with RTP columns (object arrays) are not flat-encodable; "
+                "send them over the pickling transport instead"
+            )
+
+    def byte_size(self) -> int:
+        """Encoded size of this block in the flat-buffer layout, in bytes.
+
+        Raises :class:`ValueError` for blocks carrying an RTP column (object
+        arrays have no flat encoding); everything else -- including the
+        optional ground-truth columns -- encodes.
+        """
+        self._codec_check()
+        n = len(self.timestamps)
+        size = _CODEC_HEADER.size + _pad8(len(self._codec_meta()))
+        for _, dtype in _CODEC_COLUMNS:
+            size += _pad8(n * dtype.itemsize)
+        if self.media_codes is not None:
+            size += _pad8(n * _CODEC_MEDIA_DTYPE.itemsize)
+        if self.frame_ids is not None:
+            size += _pad8(n * _CODEC_FRAME_DTYPE.itemsize)
+        return size
+
+    def write_into(self, buf: memoryview) -> int:
+        """Encode this block into ``buf``; returns the bytes written.
+
+        The layout is the module's flat-buffer codec: a fixed header, the
+        side tables as JSON, then each numeric column 8-aligned.  ``buf``
+        must be writable and at least :meth:`byte_size` bytes long.
+        """
+        self._codec_check()
+        n = len(self.timestamps)
+        meta = self._codec_meta()
+        total = self.byte_size()
+        mv = memoryview(buf)
+        if len(mv) < total:
+            raise ValueError(f"buffer too small: need {total} bytes, have {len(mv)}")
+        flags = 0
+        if self.media_codes is not None:
+            flags |= _CODEC_FLAG_MEDIA
+        if self.frame_ids is not None:
+            flags |= _CODEC_FLAG_FRAMES
+        _CODEC_HEADER.pack_into(mv, 0, _CODEC_MAGIC, _CODEC_VERSION, flags, n, len(meta))
+        offset = _CODEC_HEADER.size
+        mv[offset : offset + len(meta)] = meta
+        offset += _pad8(len(meta))
+
+        def put(values: np.ndarray, dtype: np.dtype) -> None:
+            nonlocal offset
+            dest = np.frombuffer(mv, dtype=dtype, count=n, offset=offset)
+            dest[:] = values
+            offset += _pad8(n * dtype.itemsize)
+
+        for name, dtype in _CODEC_COLUMNS:
+            put(getattr(self, name), dtype)
+        if self.media_codes is not None:
+            put(self.media_codes, _CODEC_MEDIA_DTYPE)
+        if self.frame_ids is not None:
+            put(self.frame_ids, _CODEC_FRAME_DTYPE)
+        return offset
+
+    @classmethod
+    def read_from(cls, buf: memoryview) -> "PacketBlock":
+        """Decode a block encoded by :meth:`write_into`, zero-copy.
+
+        Every numeric column is an ``np.frombuffer`` *view* over ``buf`` --
+        nothing is copied, which is the point of the shared-memory transport.
+        The caller owns the buffer's lifetime: the returned block (and any
+        state derived from its columns by reference) must not outlive it.
+        Consumers that release the buffer back to a ring must finish with the
+        block first (the engine's ``push_block`` copies what it keeps).
+        """
+        mv = memoryview(buf)
+        magic, version, flags, n, meta_len = _CODEC_HEADER.unpack_from(mv, 0)
+        if magic != _CODEC_MAGIC:
+            raise ValueError(f"not a flat-encoded PacketBlock (magic {magic!r})")
+        if version != _CODEC_VERSION:
+            raise ValueError(f"unsupported PacketBlock codec version {version}")
+        offset = _CODEC_HEADER.size
+        meta = json.loads(bytes(mv[offset : offset + meta_len]))
+        offset += _pad8(meta_len)
+
+        def get(dtype: np.dtype) -> np.ndarray:
+            nonlocal offset
+            column = np.frombuffer(mv, dtype=dtype, count=n, offset=offset)
+            offset += _pad8(n * dtype.itemsize)
+            return column
+
+        columns = {name: get(dtype) for name, dtype in _CODEC_COLUMNS}
+        media_codes = get(_CODEC_MEDIA_DTYPE) if flags & _CODEC_FLAG_MEDIA else None
+        frame_ids = get(_CODEC_FRAME_DTYPE) if flags & _CODEC_FLAG_FRAMES else None
+        return cls(
+            addresses=tuple(meta["addresses"]),
+            flows=tuple(
+                FlowKey(src=src, src_port=src_port, dst=dst, dst_port=dst_port, protocol=protocol)
+                for src, src_port, dst, dst_port, protocol in meta["flows"]
+            ),
+            rtp=None,
+            media_codes=media_codes,
+            frame_ids=frame_ids,
+            _packets=None,
+            **columns,
+        )
+
     # -- pickling (the cluster wire format) ------------------------------------
 
     def __getstate__(self) -> dict:
         """Arrays and side tables only: the packet-object cache never ships."""
         state = {name: getattr(self, name) for name in self.__slots__}
         state["_packets"] = None
+        state["_meta_cache"] = None
         # Basic slices are views into the parent block's buffers; pickling a
         # view would serialize the whole base buffer.
         for name, value in state.items():

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 from pathlib import Path
 
 from repro.core.streaming import StreamEstimate
@@ -51,12 +52,32 @@ class _FileSink(EstimateSink):
             raise RuntimeError(f"{type(self).__name__} is closed")
 
 
+def _json_safe(record: dict) -> dict:
+    """Map non-finite floats to ``None`` so every line is *valid* JSON.
+
+    ``json.dumps`` would otherwise serialize ``NaN``/``Infinity`` literals --
+    Python-specific extensions that jq, pandas' strict reader and BigQuery
+    all reject.  Estimates can legitimately carry them (e.g. jitter over a
+    window with a single frame), so the record maps them to ``null`` and
+    ``allow_nan=False`` below guarantees nothing slips through.
+    """
+    return {
+        key: None if isinstance(value, float) and not math.isfinite(value) else value
+        for key, value in record.items()
+    }
+
+
 class JSONLinesSink(_FileSink):
-    """One JSON object per line per estimate (jq/pandas/BigQuery friendly)."""
+    """One JSON object per line per estimate (jq/pandas/BigQuery friendly).
+
+    Non-finite metric values (``NaN``, ``inf``) become JSON ``null``: every
+    emitted line parses under strict JSON rules, which is the promise the
+    jq/pandas/BigQuery consumers rely on.
+    """
 
     def emit(self, item: StreamEstimate) -> None:
         self._check_open()
-        self._file.write(json.dumps(estimate_as_dict(item)) + "\n")
+        self._file.write(json.dumps(_json_safe(estimate_as_dict(item)), allow_nan=False) + "\n")
         self.records_written += 1
 
 

@@ -154,6 +154,21 @@ class TestFanInSink:
         with pytest.raises(ValueError):
             FanInSink(n_shards=2).accept(2, [])
 
+    def test_accept_after_finish_raises(self):
+        """A late batch for a finished shard would release immediately (its
+        watermark is +inf) and could break the global ordering contract --
+        the fan-in must refuse it loudly instead."""
+        downstream = CollectorSink()
+        fan_in = FanInSink(downstream, n_shards=2)
+        fan_in.accept(0, [make_item(0.0)], low_watermark=1.0)
+        fan_in.finish(0)
+        with pytest.raises(RuntimeError, match="already finished"):
+            fan_in.accept(0, [make_item(5.0)])
+        # The violation was rejected before buffering: closing releases only
+        # what legitimately arrived.
+        fan_in.close()
+        assert [i.estimate.window_start for i in downstream.items] == [0.0]
+
     def test_flow_sort_key_totally_orders_none_first(self):
         keys = [make_item(0.0, dst_port=50001).flow, None, make_item(0.0).flow]
         ordered = sorted(keys, key=flow_sort_key)

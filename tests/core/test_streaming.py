@@ -367,6 +367,37 @@ class TestLongRunningMonitor:
         assert len(stream.flow_table) == 1
         assert all(e.flow.dst_port == 40000 for e in evicted)
 
+    def test_mass_eviction_sweep_is_one_pass(self):
+        """A single sweep evicting many flows must not be O(evicted x flows).
+
+        Regression for the per-eviction ``_flow_order.remove`` -- quadratic
+        in the flow count, which stalled the hot path when a large monitor
+        mass-evicted (20k single-packet flows made the sweep take tens of
+        seconds; one pass takes well under a second even on slow CI).
+        """
+        from time import perf_counter
+
+        stream = StreamingQoEPipeline(QoEPipeline.for_vca("teams"))
+        n_flows = 20_000
+        for i in range(n_flows):
+            stream.push(
+                Packet(
+                    timestamp=0.0,
+                    ip=IPv4Header(src="192.0.2.10", dst=f"10.{i >> 16}.{(i >> 8) & 255}.{i & 255}"),
+                    udp=UDPHeader(src_port=3478, dst_port=40000),
+                    payload_size=1000,
+                )
+            )
+        stream.push(make_packet(1000.0, 1000))  # the lone live flow drives time
+        assert len(stream._streams) == n_flows + 1
+        started = perf_counter()
+        evicted = stream.evict_idle(idle_s=10.0)
+        elapsed = perf_counter() - started
+        assert len(stream._streams) == 1 and len(stream.flow_table) == 1
+        assert len({e.flow for e in evicted}) == n_flows
+        assert stream.flows == [five_tuple(make_packet(1000.0, 1000))]
+        assert elapsed < 3.0, f"mass-eviction sweep took {elapsed:.2f}s (quadratic regression?)"
+
 
 def _tiny_trained_pipeline(seed: int = 0) -> QoEPipeline:
     """Deterministically-trained small forests (cheap; predictions arbitrary)."""
