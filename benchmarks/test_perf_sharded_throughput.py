@@ -26,7 +26,7 @@ import os
 import numpy as np
 import pytest
 
-from conftest import RESULTS_DIR, save_artifact
+from conftest import RESULTS_DIR, enforced_floor, save_artifact
 from repro import CollectorSink, IteratorSource, QoEPipeline, ShardedQoEMonitor
 from repro.core.streaming import StreamingQoEPipeline
 from repro.net.packet import IPv4Header, Packet, UDPHeader
@@ -38,7 +38,8 @@ MULTI_WORKERS = 2
 _CPUS = os.cpu_count() or 1
 #: Multi-worker pps must reach this fraction of the 1-worker sharded pps.
 #: Genuine scaling needs >1 core; serial hardware only records the numbers.
-MIN_SCALING = float(os.environ.get("BENCH_SHARDED_MIN_SCALING", "0.8" if _CPUS > 1 else "0.0"))
+#: The JSON artifact records exactly this (enforced) value.
+MIN_SCALING = enforced_floor("BENCH_SHARDED_MIN_SCALING", 0.8)
 _ARTIFACT_NAME = "BENCH_sharded_smoke" if _SMOKE else "BENCH_sharded"
 
 _measured: dict[str, float] = {}

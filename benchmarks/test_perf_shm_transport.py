@@ -32,7 +32,7 @@ import os
 import numpy as np
 import pytest
 
-from conftest import RESULTS_DIR, save_artifact
+from conftest import RESULTS_DIR, enforced_floor, save_artifact
 from repro import CollectorSink, IteratorSource, QoEPipeline, ShardedQoEMonitor
 from repro.cluster.shm import shm_available
 from repro.net.packet import IPv4Header, Packet, UDPHeader
@@ -48,8 +48,9 @@ MULTI_WORKERS = 2
 _CPUS = os.cpu_count() or 1
 #: 1-worker shm pps must reach this multiple of the 1-worker queue block
 #: transport.  Genuine transport overlap needs >1 core; on serial hardware
-#: the numbers are recorded but the floor is vacuous.
-MIN_SPEEDUP = float(os.environ.get("BENCH_SHM_MIN_SPEEDUP", "1.5" if _CPUS > 1 else "0.0"))
+#: the numbers are recorded but the floor is vacuous.  The JSON artifact
+#: records exactly this (enforced) value.
+MIN_SPEEDUP = enforced_floor("BENCH_SHM_MIN_SPEEDUP", 1.5)
 _ARTIFACT_NAME = "BENCH_shm_smoke" if _SMOKE else "BENCH_shm"
 
 _measured: dict[str, float] = {}

@@ -76,6 +76,7 @@ class FanInSink(EstimateSink):
         self._buffers: list[list[StreamEstimate]] = [[] for _ in range(n_shards)]
         self._watermarks: list[float] = [-math.inf] * n_shards
         self._finished: list[bool] = [False] * n_shards
+        self._scanned_threshold = -math.inf
         self.records_released = 0
         self._closed = False
 
@@ -108,7 +109,10 @@ class FanInSink(EstimateSink):
         self._buffers[shard_id].extend(items)
         if low_watermark is not None and low_watermark > self._watermarks[shard_id]:
             self._watermarks[shard_id] = low_watermark
-        self._release()
+        new_min = (
+            min(item.estimate.window_start for item in items) if items else math.inf
+        )
+        self._release(new_min)
 
     def finish(self, shard_id: int) -> None:
         """Mark ``shard_id`` exhausted: it holds back the merge no longer."""
@@ -141,10 +145,27 @@ class FanInSink(EstimateSink):
         if self._closed:
             raise RuntimeError("FanInSink is closed")
 
-    def _release(self) -> None:
+    def _release(self, new_min: float = -math.inf) -> None:
+        """Emit every buffered estimate below the global watermark threshold.
+
+        ``new_min`` is the smallest ``window_start`` among the items the
+        caller just buffered (``+inf`` for none; the default ``-inf`` forces
+        a scan).  When the threshold has not moved since the last scan and
+        every new item sits at or above it, the scan is provably a no-op --
+        surviving items were already checked, and a shard's new batch is
+        bounded below by its previously reported watermark, itself >= the
+        unchanged global minimum -- so it is skipped.  That makes
+        :meth:`accept` O(batch) instead of O(buffered) in the steady state,
+        which matters now that the zero-pickle return path calls it once per
+        decoded tick batch.  A watermark-violating source (items *below* the
+        threshold) still releases immediately, exactly as before.
+        """
         threshold = min(self._watermarks)
         if threshold == -math.inf:
             return
+        if threshold == self._scanned_threshold and new_min >= threshold:
+            return
+        self._scanned_threshold = threshold
         ready: list[StreamEstimate] = []
         for buffer in self._buffers:
             kept: list[StreamEstimate] = []

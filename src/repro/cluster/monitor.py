@@ -43,11 +43,98 @@ from repro.cluster.router import FlowShardRouter
 from repro.cluster.shm import DEFAULT_SLOT_BYTES, BlockRing, shm_available
 from repro.cluster.worker import ShardWorker
 from repro.monitor import MonitorReport
+from repro.net.estwire import EstimateBatch
 from repro.sources.base import PacketSource, as_source, iter_blocks
 
 __all__ = ["ShardedQoEMonitor"]
 
 _TRANSPORTS = ("shm", "block", "packets")
+_SHM_RETURNS = ("ring", "queue")
+
+
+class _ShmBatcher:
+    """Parent-side forward batcher: packs routed sub-blocks into ring slots.
+
+    Sub-blocks accumulate (as references, nothing is copied) until the next
+    one would overflow a slot, then the whole batch is flat-encoded into
+    **one** ring slot behind length-prefixed segment headers -- two
+    semaphore ops and a single ``("shm",)`` token no matter how many routed
+    ticks ride in it.  The worker consumes each segment as its own
+    inference tick, so batching changes wire granularity, never the tick
+    sequence.  Blocks the codec cannot flatten (RTP object columns) or that
+    outsize a slot even after row-splitting fall back to the pickling
+    queue -- always behind a flush, so fallback messages cannot overtake
+    slots already filled and everything still arrives in routed order.
+    """
+
+    def __init__(self, monitor: "ShardedQoEMonitor", worker: ShardWorker, batch_slots: bool = True) -> None:
+        self._monitor = monitor
+        self._worker = worker
+        self._ring = worker.ring
+        self._batch_slots = batch_slots
+        self._pending: list[tuple[int, object]] = []
+        self._pending_cost = 0
+        self._queue_fallbacks = 0
+
+    def add(self, block) -> None:
+        """Queue one routed sub-block, flushing or falling back as needed."""
+        ring = self._ring
+        try:
+            size = block.byte_size()
+        except ValueError:
+            # Not flat-encodable (object columns): the queue still is.
+            self.flush()
+            self._queue_fallbacks += 1
+            self._monitor._send(self._worker, ("block", block))
+            return
+        if size > ring.max_segment_bytes:
+            if len(block) <= 1:
+                # A single row that out-sizes a slot (pathological side
+                # tables): the queue handles it, correctness over zero-copy.
+                self.flush()
+                self._queue_fallbacks += 1
+                self._monitor._send(self._worker, ("block", block))
+                return
+            mid = len(block) // 2
+            self.add(block[:mid].compact())
+            self.add(block[mid:].compact())
+            return
+        cost = ring.segment_cost(size)
+        if self._pending and self._pending_cost + cost > ring.slot_bytes:
+            self.flush()
+        self._pending.append((size, block))
+        self._pending_cost += cost
+        if not self._batch_slots:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write every pending sub-block into one slot and announce it.
+
+        Bounded push that keeps draining output, mirroring ``_send``: ring
+        back-pressure must not deadlock the parent against a worker blocked
+        on its own output (the pump also frees return-ring slots), and a
+        dead worker must raise.
+        """
+        if not self._pending:
+            return
+        payloads = [(size, block.write_into) for size, block in self._pending]
+        worker = self._worker
+        while not self._ring.try_push_segments(payloads, timeout=0.05):
+            self._monitor._pump()
+            if not worker.alive and not self._monitor._done[worker.shard_id]:
+                raise RuntimeError(
+                    f"shard worker {worker.shard_id} died (exit code "
+                    f"{worker.process.exitcode}) before accepting input"
+                ) from None
+        self._pending = []
+        self._pending_cost = 0
+        self._monitor._send(worker, ("shm",))
+
+    def stats(self) -> dict:
+        """Forward-path transport counters for the shard's stats surface."""
+        stats = dict(self._ring.transport_stats())
+        stats["queue_fallbacks"] = self._queue_fallbacks
+        return stats
 
 
 class ShardedQoEMonitor:
@@ -84,21 +171,38 @@ class ShardedQoEMonitor:
         :meth:`push_block <repro.core.streaming.StreamingQoEPipeline.push_block>`
         path.  ``"shm"``: the same routing, but sub-blocks are flat-encoded
         straight into a per-shard shared-memory
-        :class:`~repro.cluster.shm.BlockRing` and decoded as zero-copy
-        array views on the worker side -- no pickling of the payload at
-        all; only slot tokens and control messages ride the queue.  Blocks
-        the codec cannot flatten (RTP object columns) or that exceed a ring
-        slot even after splitting fall back to the queue per block, so
-        output never depends on the transport.  ``"packets"``: the legacy
-        per-packet routing that pickles ``Packet`` lists.  All three
-        transports emit bit-identical estimates in identical order (pinned
-        by ``tests/cluster/``); they differ only in wire cost.
+        :class:`~repro.cluster.shm.BlockRing` (several per slot -- see
+        ``shm_batch_slots``) and decoded as zero-copy array views on the
+        worker side, while estimates come back the same way over a reverse
+        ring per shard (see ``shm_return``) -- no pickling of any payload
+        in either direction; only slot tokens and control messages ride the
+        queues.  Blocks the codec cannot flatten (RTP object columns) or
+        that exceed a ring slot even after splitting fall back to the queue
+        per block, so output never depends on the transport.
+        ``"packets"``: the legacy per-packet routing that pickles
+        ``Packet`` lists.  All three transports emit bit-identical
+        estimates in identical order (pinned by ``tests/cluster/``); they
+        differ only in wire cost.
     queue_depth:
         Bound of each shard's input queue, and -- on the ``"shm"``
-        transport -- the slot count of its block ring (the two are paired:
-        every ring slot is announced by one queued token).  This is the
-        back-pressure knob: a slow shard can be at most ``queue_depth``
-        chunks behind the router before the router blocks.
+        transport -- the slot count of its block rings (the pairing:
+        every filled ring slot is announced by one queued token).  This is
+        the back-pressure knob: a slow shard can be at most ``queue_depth``
+        slots behind the router before the router blocks.
+    shm_return:
+        ``"ring"`` (default): per-tick estimate batches are flat-encoded
+        (:class:`~repro.net.estwire.EstimateBatch`) into a reverse
+        per-shard ring and announced with ``("est", shard_id)`` tokens --
+        the zero-pickle return path.  ``"queue"``: the classic pickled
+        ``progress`` messages.  Output is bit-identical either way
+        (``"shm"`` transport only).
+    shm_batch_slots:
+        When true (default), both directions pack multiple flat-encoded
+        payloads into a single ring slot behind length-prefixed segment
+        headers -- forward slots flush when the next sub-block would
+        overflow, reverse slots flush on watermark advance or slot-full --
+        so small chunk sizes stop paying two semaphore ops per payload.
+        Set false to write one payload per slot (``"shm"`` transport only).
     shm_slot_bytes:
         Payload capacity of one ring slot (``"shm"`` transport only;
         default :data:`~repro.cluster.shm.DEFAULT_SLOT_BYTES`).  The router
@@ -128,11 +232,17 @@ class ShardedQoEMonitor:
         new_flow_slack_s: float | None = None,
         queue_depth: int = 8,
         shm_slot_bytes: int | None = None,
+        shm_return: str = "ring",
+        shm_batch_slots: bool = True,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
         if transport not in _TRANSPORTS:
             raise ValueError(f"transport must be one of {_TRANSPORTS}, got {transport!r}")
+        if shm_return not in _SHM_RETURNS:
+            raise ValueError(
+                f"shm_return must be one of {_SHM_RETURNS}, got {shm_return!r}"
+            )
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth!r}")
         if transport == "shm" and not shm_available():
@@ -159,8 +269,13 @@ class ShardedQoEMonitor:
         self.new_flow_slack_s = new_flow_slack_s
         self.queue_depth = queue_depth
         self.shm_slot_bytes = shm_slot_bytes
+        self.shm_return = shm_return
+        self.shm_batch_slots = shm_batch_slots
         #: Per-shard ``{"n_packets", "n_flows", "n_evicted_flows"}`` of the
-        #: completed run (index = shard id).
+        #: completed run (index = shard id); on the ``"shm"`` transport a
+        #: ``"transport"`` entry adds per-direction ring telemetry
+        #: (occupancy high-water mark, slots written/reused, segments per
+        #: slot, queue fallbacks).
         self.shard_stats: list[dict] = []
         self._ran = False
 
@@ -202,15 +317,22 @@ class ShardedQoEMonitor:
         ctx = multiprocessing.get_context(self.start_method)
         out_queue = ctx.Queue()
         payload_json = json.dumps(self.pipeline.to_payload())
-        rings: list[BlockRing] = []
+        forward_rings: list[BlockRing] = []
+        return_rings: list[BlockRing] = []
         if self.transport == "shm":
             slot_bytes = (
                 self.shm_slot_bytes if self.shm_slot_bytes is not None else DEFAULT_SLOT_BYTES
             )
-            rings = [
+            forward_rings = [
                 BlockRing.create(ctx, self.queue_depth, slot_bytes)
                 for _ in range(self.n_workers)
             ]
+            if self.shm_return == "ring":
+                return_rings = [
+                    BlockRing.create(ctx, self.queue_depth, slot_bytes)
+                    for _ in range(self.n_workers)
+                ]
+        rings = forward_rings + return_rings
         try:
             workers = [
                 ShardWorker(
@@ -221,7 +343,9 @@ class ShardedQoEMonitor:
                     out_queue,
                     queue_depth=self.queue_depth,
                     new_flow_slack_s=self.new_flow_slack_s,
-                    ring=rings[shard_id] if rings else None,
+                    ring=forward_rings[shard_id] if forward_rings else None,
+                    return_ring=return_rings[shard_id] if return_rings else None,
+                    batch_slots=self.shm_batch_slots,
                 )
                 for shard_id in range(self.n_workers)
             ]
@@ -238,6 +362,8 @@ class ShardedQoEMonitor:
         self._fan_in = fan_in
         self._workers = workers
         self._rings = rings
+        self._return_rings = return_rings
+        self._batchers: list[_ShmBatcher] | None = None
         self._done = [False] * self.n_workers
         self._stats: list[dict | None] = [None] * self.n_workers
         n_packets = 0
@@ -250,10 +376,17 @@ class ShardedQoEMonitor:
                 # hashes once per unique flow, and what crosses the process
                 # boundary is array buffers -- no per-packet pickling.  On
                 # the shm transport the buffers do not even cross: they are
-                # written once into the shard's ring and read in place.
-                send_block = self._send_shm if self.transport == "shm" else (
-                    lambda worker, sub: self._send(worker, ("block", sub))
-                )
+                # packed into the shard's ring slots (several sub-blocks per
+                # slot) and read in place.
+                if self.transport == "shm":
+                    self._batchers = [
+                        _ShmBatcher(self, worker, batch_slots=self.shm_batch_slots)
+                        for worker in workers
+                    ]
+                    batchers = self._batchers
+                    send_block = lambda worker, sub: batchers[worker.shard_id].add(sub)
+                else:
+                    send_block = lambda worker, sub: self._send(worker, ("block", sub))
                 for block in iter_blocks(self.source, self.chunk_size):
                     n_packets += len(block)
                     for shard_id, sub_block in self.router.partition_block(block):
@@ -263,6 +396,9 @@ class ShardedQoEMonitor:
                     # scrapes work) and parent memory stays O(in-flight),
                     # not O(all estimates of the capture).
                     self._pump()
+                if self._batchers is not None:
+                    for batcher in self._batchers:
+                        batcher.flush()
             else:
                 buffers: list[list] = [[] for _ in range(self.n_workers)]
                 for packet in self.source:
@@ -301,12 +437,16 @@ class ShardedQoEMonitor:
                 out_queue.cancel_join_thread()
                 out_queue.close()
         self.shard_stats = [stats if stats is not None else {} for stats in self._stats]
+        if self._batchers is not None:
+            for stats, batcher in zip(self.shard_stats, self._batchers):
+                stats.setdefault("transport", {})["forward"] = batcher.stats()
         return MonitorReport(
             n_packets=n_packets,
             n_estimates=fan_in.records_released,
             n_flows=sum(stats.get("n_flows", 0) for stats in self.shard_stats),
             n_evicted_flows=sum(stats.get("n_evicted_flows", 0) for stats in self.shard_stats),
             wall_time_s=perf_counter() - started,
+            transport=self._aggregate_transport(),
         )
 
     # -- internals -------------------------------------------------------------
@@ -326,45 +466,22 @@ class ShardedQoEMonitor:
                         f"{worker.process.exitcode}) before accepting input"
                     ) from None
 
-    def _send_shm(self, worker: ShardWorker, block) -> None:
-        """Ship ``block`` to ``worker`` over its shared-memory ring.
+    def _aggregate_transport(self) -> dict:
+        """Fleet-level ring telemetry: per-direction counters over shards.
 
-        Blocks the codec cannot flatten (RTP object columns) fall back to
-        the pickling queue; blocks larger than a ring slot are split by
-        rows (each half re-compacted so it carries only its own side
-        tables) until they fit.  Each successful ring push is announced
-        with a ``("shm",)`` token on the worker's queue -- the queue stays
-        the ordering spine, so ring payloads and fallback messages arrive
-        in exactly the order they were routed.
+        Counts sum; high-water marks take the max.  Empty on the queue
+        transports (and for the directions that used the queue).
         """
-        ring = worker.ring
-        try:
-            size = block.byte_size()
-        except ValueError:
-            # Not flat-encodable (object columns): the queue still is.
-            self._send(worker, ("block", block))
-            return
-        if size > ring.slot_bytes:
-            if len(block) <= 1:
-                # A single row that out-sizes a slot (pathological side
-                # tables): the queue handles it, correctness over zero-copy.
-                self._send(worker, ("block", block))
-                return
-            mid = len(block) // 2
-            self._send_shm(worker, block[:mid].compact())
-            self._send_shm(worker, block[mid:].compact())
-            return
-        # Bounded push that keeps draining output, mirroring _send: ring
-        # back-pressure must not deadlock the parent against a worker
-        # blocked on its own output, and a dead worker must raise.
-        while not ring.try_push(block, timeout=0.05):
-            self._pump()
-            if not worker.alive and not self._done[worker.shard_id]:
-                raise RuntimeError(
-                    f"shard worker {worker.shard_id} died (exit code "
-                    f"{worker.process.exitcode}) before accepting input"
-                ) from None
-        self._send(worker, ("shm",))
+        transport: dict = {}
+        for stats in self.shard_stats:
+            for direction, counters in stats.get("transport", {}).items():
+                agg = transport.setdefault(direction, {})
+                for key, value in counters.items():
+                    if key in ("occupancy_hwm", "max_segments_per_slot"):
+                        agg[key] = max(agg.get(key, 0), value)
+                    else:
+                        agg[key] = agg.get(key, 0) + value
+        return transport
 
     def _pump(self) -> None:
         """Process every worker message currently available, without blocking."""
@@ -399,6 +516,33 @@ class ShardedQoEMonitor:
         if kind == "progress":
             _, shard_id, items, low_watermark = message
             self._fan_in.accept(shard_id, items, low_watermark)
+        elif kind == "est":
+            # One filled return-ring slot: decode every tick batch in it
+            # (zero-copy views over the slot), feed the fan-in, then recycle
+            # the slot.  The pairing mirrors the forward direction: the
+            # worker fills the slot before enqueueing the token, and both
+            # sides walk slots in token order.
+            _, shard_id = message
+            ring = self._return_rings[shard_id]
+            segments = ring.pop_segments(timeout=5.0)
+            if segments is None:  # pragma: no cover - token/slot pairing guard
+                raise RuntimeError(
+                    f"shard {shard_id} announced estimates but its return ring is empty"
+                )
+            try:
+                for segment in segments:
+                    batch = EstimateBatch.read_from(segment)
+                    self._fan_in.accept(shard_id, batch.to_estimates(), batch.low_watermark)
+                    batch = None
+            finally:
+                segments = None
+                try:
+                    ring.release()
+                except BufferError:
+                    # Only reachable when accept() raised with decoded views
+                    # still alive in the failing frame; the run's cleanup
+                    # reclaims the whole segment regardless.
+                    pass
         elif kind == "done":
             _, shard_id, items, stats = message
             self._fan_in.accept(shard_id, items)

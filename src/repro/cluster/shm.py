@@ -1,4 +1,4 @@
-"""Shared-memory block rings: the zero-copy router -> worker transport.
+"""Shared-memory block rings: the zero-copy transport of the data plane.
 
 The queue transports move a :class:`~repro.net.block.PacketBlock` by
 pickling its arrays into a pipe and unpickling them on the other side --
@@ -10,23 +10,33 @@ the fix is the standard one: put the bytes in a
 :class:`multiprocessing.shared_memory.SharedMemory` segment both sides map,
 and move only *slot tokens* through the queue.
 
-:class:`BlockRing` is a fixed-slot single-producer/single-consumer ring:
+:class:`BlockRing` is a fixed-slot single-producer/single-consumer ring of
+**segmented slots**:
 
-* one ring per shard, created by the parent (the producer) and attached by
-  that shard's worker (the consumer);
-* ``slot_count`` slots of ``slot_bytes`` each; a block is encoded into a
-  slot with the :meth:`PacketBlock.write_into
-  <repro.net.block.PacketBlock.write_into>` flat-buffer codec and decoded
-  as zero-copy array views with :meth:`PacketBlock.read_from
-  <repro.net.block.PacketBlock.read_from>`;
+* one forward ring per shard (parent -> worker, flat-encoded
+  ``PacketBlock`` payloads) and -- on the PR 6 return path -- one reverse
+  ring per shard (worker -> parent,
+  :class:`~repro.net.estwire.EstimateBatch` payloads).  Both directions are
+  created by the parent (the segment owner) and attached by the worker;
+* ``slot_count`` slots of ``slot_bytes`` each.  A slot holds one or more
+  **segments** behind a length-prefixed header -- the producer packs a
+  whole batch of flat-encoded payloads into a single slot
+  (:meth:`try_push_segments`), so small payloads stop paying two semaphore
+  operations each.  Sections stay 8-aligned for zero-copy
+  ``np.frombuffer`` decoding on the consumer side;
 * per-slot **ready/free semaphores** provide back-pressure: the producer
-  blocks (with a timeout, so it can keep draining worker output) when the
-  ring is full, the consumer when it is empty.  Both sides walk the slots
-  in order, so FIFO needs no shared indices;
-* the consumer must finish with a popped block **before** calling
-  :meth:`release` -- the slot is recycled immediately after.  The engine's
-  ``push_block`` copies everything it keeps (fancy indexing copies), so
-  "consume then release" is safe without an extra memcpy;
+  blocks (with a timeout, so it can keep draining its peer) when the ring
+  is full, the consumer when it is empty.  Both sides walk the slots in
+  order, so FIFO needs no shared indices;
+* the consumer must finish with a popped slot's segments **before**
+  calling :meth:`release` -- the slot is recycled immediately after.  The
+  engine's ``push_block`` (and the parent's estimate materialization) copy
+  everything they keep, so "consume then release" is safe without an extra
+  memcpy;
+* a 16-byte counter header (produced/consumed, each side the sole writer
+  of its own u64) makes slot occupancy observable for the transport stats
+  surfaced in per-shard stats -- reads may race, which is fine for
+  telemetry;
 * lifecycle is explicit: workers :meth:`close` their mapping, the owner
   :meth:`unlink`\\ s the segment.  The sharded monitor unlinks in a
   ``finally`` so normal exit, aborts, and worker death all reclaim the
@@ -39,6 +49,8 @@ versions the registration is reverted by hand.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.net.block import PacketBlock
 
@@ -54,8 +66,19 @@ __all__ = ["BlockRing", "RingHandle", "shm_available", "DEFAULT_SLOT_BYTES"]
 #: optional column is ~58 KiB); the router splits anything larger.
 DEFAULT_SLOT_BYTES = 1 << 20
 
-#: Per-slot length prefix (written as a tiny int64 view, 8-aligned).
-_SLOT_HEADER_BYTES = 8
+#: Ring-level counter header: u64 slots produced, u64 slots consumed.
+_RING_COUNTER_BYTES = 16
+
+#: Per-slot segment-count prefix (written as a little-endian int64).
+_SLOT_COUNT_BYTES = 8
+
+#: Per-segment byte-length prefix (little-endian int64, keeps payloads
+#: 8-aligned together with the per-segment padding).
+_SEGMENT_HEADER_BYTES = 8
+
+
+def _pad8(n: int) -> int:
+    return (n + 7) & ~7
 
 
 def shm_available() -> bool:
@@ -114,16 +137,16 @@ class RingHandle:
         self.free = free
 
     def attach(self) -> "BlockRing":
-        """Map the segment in this (worker) process; consumer side."""
+        """Map the segment in this (worker) process."""
         segment = _attach_untracked(self.name)
         return BlockRing(segment, self.slot_count, self.slot_bytes, self.ready, self.free, owner=False)
 
 
 class BlockRing:
-    """A fixed-slot SPSC ring of flat-encoded blocks over shared memory.
+    """A fixed-slot SPSC ring of segmented flat-buffer slots over shared memory.
 
-    Construct with :meth:`create` (producer/owner side) or
-    :meth:`RingHandle.attach` (consumer side); the ``__init__`` signature is
+    Construct with :meth:`create` (owner side) or :meth:`RingHandle.attach`
+    (the worker side of either direction); the ``__init__`` signature is
     internal plumbing shared by both.
     """
 
@@ -134,12 +157,21 @@ class BlockRing:
         self._ready = ready
         self._free = free
         self._owner = owner
-        self._stride = _SLOT_HEADER_BYTES + slot_bytes
+        self._stride = _SLOT_COUNT_BYTES + slot_bytes
+        # Occupancy counters live at the head of the segment: the producer
+        # owns [0] (slots produced), the consumer owns [1] (slots consumed).
+        # Telemetry only -- a torn read costs nothing but a stats blip.
+        self._counters = np.frombuffer(segment.buf, dtype=np.uint64, count=2)
         # Producer and consumer each track their own cursor; SPSC in slot
         # order means they never need to share it.
         self._cursor = 0
-        self._popped: memoryview | None = None
+        self._popped: list[memoryview] = []
         self._closed = False
+        # Producer-side transport telemetry (see transport_stats()).
+        self._slots_written = 0
+        self._segments_written = 0
+        self._max_segments_per_slot = 0
+        self._occupancy_hwm = 0
 
     # -- construction ----------------------------------------------------------
 
@@ -159,8 +191,10 @@ class BlockRing:
             raise ValueError(f"slot_bytes must be >= 1024, got {slot_bytes!r}")
         slot_bytes = (slot_bytes + 7) & ~7
         segment = _shared_memory.SharedMemory(
-            create=True, size=slot_count * (_SLOT_HEADER_BYTES + slot_bytes)
+            create=True,
+            size=_RING_COUNTER_BYTES + slot_count * (_SLOT_COUNT_BYTES + slot_bytes),
         )
+        segment.buf[:_RING_COUNTER_BYTES] = bytes(_RING_COUNTER_BYTES)
         ready = tuple(ctx.Semaphore(0) for _ in range(slot_count))
         free = tuple(ctx.Semaphore(1) for _ in range(slot_count))
         return cls(segment, slot_count, slot_bytes, ready, free, owner=True)
@@ -174,70 +208,152 @@ class BlockRing:
         """The shared-memory segment name (for leak assertions in tests)."""
         return self._segment.name
 
+    @property
+    def max_segment_bytes(self) -> int:
+        """Largest single payload a slot can carry (capacity minus prefix)."""
+        return self.slot_bytes - _SEGMENT_HEADER_BYTES
+
+    @staticmethod
+    def segment_cost(size: int) -> int:
+        """Slot capacity one ``size``-byte payload consumes (prefix + padding)."""
+        return _SEGMENT_HEADER_BYTES + _pad8(size)
+
     # -- producer side ---------------------------------------------------------
 
-    def try_push(self, block: PacketBlock, timeout: float | None = None) -> bool:
-        """Encode ``block`` into the next slot; False if no slot freed in time.
+    def try_push_segments(self, payloads, timeout: float | None = None) -> bool:
+        """Pack ``payloads`` into the next slot; False if no slot freed in time.
 
+        ``payloads`` is a non-empty sequence of ``(size, write_into)`` pairs
+        -- the flat-buffer codec surface shared by ``PacketBlock`` and
+        ``EstimateBatch``.  All of them land in **one** slot behind
+        length-prefixed segment headers (two semaphore ops total), in order.
         Raises :class:`ValueError` -- without consuming a slot -- when the
-        block cannot fit (``byte_size() > slot_bytes``, split it first) or
-        cannot be flat-encoded at all (RTP columns); the caller falls back
-        to the queue transport for those.
+        batch cannot fit (``sum(segment_cost(size)) > slot_bytes``; split or
+        flush first).
         """
-        size = block.byte_size()
-        if size > self.slot_bytes:
+        if not payloads:
+            raise ValueError("try_push_segments needs at least one payload")
+        needed = sum(self.segment_cost(size) for size, _ in payloads)
+        if needed > self.slot_bytes:
             raise ValueError(
-                f"block of {size} bytes exceeds the ring's {self.slot_bytes}-byte slots"
+                f"segment batch of {needed} bytes exceeds the ring's "
+                f"{self.slot_bytes}-byte slots"
             )
         if not self._free[self._cursor].acquire(True, timeout):
             return False
-        offset = self._cursor * self._stride
-        buf = self._segment.buf
-        header = memoryview(buf)[offset : offset + _SLOT_HEADER_BYTES]
-        header[:] = size.to_bytes(_SLOT_HEADER_BYTES, "little")
-        payload = memoryview(buf)[offset + _SLOT_HEADER_BYTES : offset + self._stride]
+        offset = _RING_COUNTER_BYTES + self._cursor * self._stride
+        mv = memoryview(self._segment.buf)
         try:
-            block.write_into(payload)
+            mv[offset : offset + _SLOT_COUNT_BYTES] = len(payloads).to_bytes(
+                _SLOT_COUNT_BYTES, "little"
+            )
+            pos = offset + _SLOT_COUNT_BYTES
+            for size, write_into in payloads:
+                mv[pos : pos + _SEGMENT_HEADER_BYTES] = size.to_bytes(
+                    _SEGMENT_HEADER_BYTES, "little"
+                )
+                segment = mv[pos + _SEGMENT_HEADER_BYTES : pos + _SEGMENT_HEADER_BYTES + size]
+                try:
+                    write_into(segment)
+                finally:
+                    segment.release()
+                pos += self.segment_cost(size)
         finally:
-            header.release()
-            payload.release()
+            mv.release()
         self._ready[self._cursor].release()
         self._cursor = (self._cursor + 1) % self.slot_count
+        self._slots_written += 1
+        self._segments_written += len(payloads)
+        if len(payloads) > self._max_segments_per_slot:
+            self._max_segments_per_slot = len(payloads)
+        counters = self._counters
+        counters[0] += 1
+        occupancy = int(counters[0]) - int(counters[1])
+        if occupancy > self._occupancy_hwm:
+            self._occupancy_hwm = occupancy
         return True
+
+    def try_push(self, block: PacketBlock, timeout: float | None = None) -> bool:
+        """Encode one ``block`` into its own slot; False if none freed in time.
+
+        The single-segment convenience used by unbatched callers and tests.
+        Raises :class:`ValueError` -- without consuming a slot -- when the
+        block cannot fit (``byte_size() > max_segment_bytes``, split it
+        first) or cannot be flat-encoded at all (RTP columns); callers fall
+        back to the queue transport for those.
+        """
+        size = block.byte_size()
+        if size > self.max_segment_bytes:
+            raise ValueError(
+                f"block of {size} bytes exceeds the ring's {self.slot_bytes}-byte slots"
+            )
+        return self.try_push_segments(((size, block.write_into),), timeout)
+
+    def transport_stats(self) -> dict:
+        """Producer-side telemetry of this ring (occupancy, batching, reuse)."""
+        return {
+            "slots_written": self._slots_written,
+            "slot_reuses": max(0, self._slots_written - self.slot_count),
+            "segments_written": self._segments_written,
+            "max_segments_per_slot": self._max_segments_per_slot,
+            "occupancy_hwm": self._occupancy_hwm,
+        }
 
     # -- consumer side ---------------------------------------------------------
 
+    def pop_segments(self, timeout: float | None = None) -> list[memoryview] | None:
+        """Views of the oldest pending slot's segments; ``None`` on timeout.
+
+        The returned memoryviews alias the slot: decode them (zero-copy),
+        finish with everything derived from them, then call :meth:`release`.
+        At most one slot may be outstanding at a time.
+        """
+        if self._popped:
+            raise RuntimeError("previous slot not released; call release() first")
+        if not self._ready[self._cursor].acquire(True, timeout):
+            return None
+        offset = _RING_COUNTER_BYTES + self._cursor * self._stride
+        buf = self._segment.buf
+        count = int.from_bytes(bytes(buf[offset : offset + _SLOT_COUNT_BYTES]), "little")
+        pos = offset + _SLOT_COUNT_BYTES
+        views: list[memoryview] = []
+        for _ in range(count):
+            size = int.from_bytes(bytes(buf[pos : pos + _SEGMENT_HEADER_BYTES]), "little")
+            views.append(
+                memoryview(buf)[pos + _SEGMENT_HEADER_BYTES : pos + _SEGMENT_HEADER_BYTES + size]
+            )
+            pos += self.segment_cost(size)
+        self._popped = views
+        return views
+
     def pop(self, timeout: float | None = None) -> PacketBlock | None:
-        """Decode the oldest pending slot; ``None`` on timeout.
+        """Decode a single-block slot (the :meth:`try_push` counterpart).
 
         The returned block's columns are views into the slot: consume it
         fully (e.g. ``engine.push_block``) and then call :meth:`release`.
-        At most one slot may be outstanding at a time.
         """
-        if self._popped is not None:
-            raise RuntimeError("previous block not released; call release() first")
-        if not self._ready[self._cursor].acquire(True, timeout):
+        segments = self.pop_segments(timeout)
+        if segments is None:
             return None
-        offset = self._cursor * self._stride
-        buf = self._segment.buf
-        size = int.from_bytes(bytes(buf[offset : offset + _SLOT_HEADER_BYTES]), "little")
-        payload = memoryview(buf)[
-            offset + _SLOT_HEADER_BYTES : offset + _SLOT_HEADER_BYTES + size
-        ]
-        self._popped = payload
-        return PacketBlock.read_from(payload)
+        if len(segments) != 1:  # pragma: no cover - caller protocol guard
+            raise RuntimeError(
+                f"slot holds {len(segments)} segments; use pop_segments() for batched slots"
+            )
+        return PacketBlock.read_from(segments[0])
 
     def release(self) -> None:
-        """Recycle the slot of the last :meth:`pop`\\ ped block.
+        """Recycle the slot of the last :meth:`pop_segments`/:meth:`pop`.
 
-        The block decoded from it (and anything still viewing its buffer)
-        must be dropped before calling this; the producer will overwrite the
-        slot immediately.
+        Everything decoded from the slot (and anything still viewing its
+        buffer) must be dropped before calling this; the producer will
+        overwrite the slot immediately.
         """
-        if self._popped is None:
+        if not self._popped:
             raise RuntimeError("no popped block to release")
-        self._popped.release()
-        self._popped = None
+        for view in self._popped:
+            view.release()
+        self._popped = []
+        self._counters[1] += 1
         self._free[self._cursor].release()
         self._cursor = (self._cursor + 1) % self.slot_count
 
@@ -248,15 +364,17 @@ class BlockRing:
         if self._closed:
             return
         self._closed = True
-        if self._popped is not None:
+        for view in self._popped:
             try:
-                self._popped.release()
+                view.release()
             except BufferError:
-                # A decoded block still views the slot (e.g. the worker's
+                # A decoded payload still views the slot (e.g. the worker's
                 # error path closes with its last chunk in scope); the
                 # mapping goes when the process does.
                 pass
-            self._popped = None
+        self._popped = []
+        # Drop the counter view before closing or it would pin the mapping.
+        self._counters = None
         try:
             self._segment.close()
         except BufferError:  # pragma: no cover - a stray view outlived its block

@@ -13,15 +13,16 @@ site that loaded the model from disk, and reloaded forests predict
 bit-identically by the PR 2 persistence contract.
 
 Protocol (control messages are plain tuples over ``multiprocessing``
-queues; with the shared-memory transport the block *payloads* ride a
-:class:`~repro.cluster.shm.BlockRing` instead and the queue carries only
-slot tokens)::
+queues; with the shared-memory transport the *payloads* in both directions
+ride :class:`~repro.cluster.shm.BlockRing` segments and the queues carry
+only slot tokens)::
 
     parent -> worker:  ("block", PacketBlock)          one routed tick (columnar)
-                       ("shm",)                        one routed tick (pop the ring)
+                       ("shm",)                        one ring slot (>= 1 routed ticks)
                        ("chunk", [Packet, ...])        one routed tick (legacy)
                        ("stop",)                       end of source
     worker -> parent:  ("progress", shard_id, [StreamEstimate], low_watermark)
+                       ("est", shard_id)               one return-ring slot (>= 1 tick batches)
                        ("done", shard_id, [StreamEstimate], stats dict)
                        ("error", shard_id, traceback string)
 
@@ -31,15 +32,20 @@ buffers plus small side tables, instead of one Python object graph per
 packet, and the worker feeds it to :meth:`StreamingQoEPipeline.push_block
 <repro.core.streaming.StreamingQoEPipeline.push_block>` without ever
 materializing ``Packet`` objects in trained mode.  The ``("shm",)`` token
-goes one further: the parent flat-encodes the block straight into a
-shared-memory ring slot and the worker decodes zero-copy array views over
-that slot, consumes them (``push_block`` copies what it keeps), and only
-then releases the slot for reuse.  Every transport produces bit-identical
-estimates in identical order (pinned by ``tests/cluster/``).
+goes one further: the parent flat-encodes routed blocks straight into a
+shared-memory ring slot (several per slot behind length-prefixed segment
+headers) and the worker decodes zero-copy array views over that slot,
+consumes each segment as its own inference tick, and only then releases
+the slot for reuse.  The return direction mirrors it: per-tick estimate
+batches are flat-encoded (:class:`~repro.net.estwire.EstimateBatch`) into
+a reverse ring and announced with ``("est", shard_id)`` tokens, so with
+``transport="shm"`` no packet and no estimate payload is pickled in either
+direction.  Every transport produces bit-identical estimates in identical
+order (pinned by ``tests/cluster/``).
 
 The worker's output protocol is linear by construction:
-``progress* -> done | error``.  :class:`_WorkerChannel` enforces it --
-a worker that tried to emit ``progress`` after ``done`` would pin the
+``(progress|est)* -> done | error``.  :class:`_WorkerChannel` enforces
+it -- a worker that tried to emit ``progress`` after ``done`` would pin the
 fan-in's watermark assumptions (a finished shard's watermark is ``+inf``),
 so the channel raises instead of letting the message out.
 
@@ -56,12 +62,15 @@ shard's stream time.
 from __future__ import annotations
 
 import json
+import math
 import traceback
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import QoEPipeline
 from repro.core.streaming import StreamingQoEPipeline
 from repro.monitor import IdleEvictionSchedule
+from repro.net.block import PacketBlock
+from repro.net.estwire import EstimateBatch
 
 __all__ = ["ShardWorker", "shard_worker_main"]
 
@@ -74,10 +83,11 @@ DEFAULT_NEW_FLOW_SLACK_WINDOWS = 2.0
 class _WorkerChannel:
     """The worker's output queue with the linear protocol enforced.
 
-    ``progress* -> done | error``: once :meth:`done` has been sent the shard
-    is finished on the parent side (its fan-in watermark is pinned at
-    ``+inf``), so a late ``progress`` would be a protocol bug that the
-    fan-in could only mis-order -- raise here, at the source, instead.
+    ``(progress|est)* -> done | error``: once :meth:`done` has been sent the
+    shard is finished on the parent side (its fan-in watermark is pinned at
+    ``+inf``), so a late ``progress`` or ``est`` token would be a protocol
+    bug that the fan-in could only mis-order -- raise here, at the source,
+    instead.
     """
 
     def __init__(self, shard_id: int, out_queue) -> None:
@@ -92,6 +102,14 @@ class _WorkerChannel:
             )
         self._out_queue.put(("progress", self.shard_id, items, low_watermark))
 
+    def estimates_ready(self) -> None:
+        """Announce one filled return-ring slot (the reverse slot token)."""
+        if self.done_sent:
+            raise RuntimeError(
+                f"shard {self.shard_id} attempted to emit progress after done"
+            )
+        self._out_queue.put(("est", self.shard_id))
+
     def done(self, items, stats) -> None:
         if self.done_sent:
             raise RuntimeError(f"shard {self.shard_id} reported done twice")
@@ -102,6 +120,113 @@ class _WorkerChannel:
         self._out_queue.put(("error", self.shard_id, trace))
 
 
+class _EstimateReturn:
+    """The worker's estimate return path: ring batcher with queue fallback.
+
+    In ring mode each tick's emissions are flat-encoded
+    (:class:`~repro.net.estwire.EstimateBatch`) and buffered; the pending
+    batches are then packed into **one** return-ring slot -- two semaphore
+    ops total, announced by a single ``("est", shard_id)`` token -- when the
+    tick's low watermark advances past everything already shipped, when the
+    next batch would overflow the slot, or at end of stream.  The low
+    watermark is window-grid quantized, so sub-window ticks (the common case
+    for small chunk sizes) ride along in the same slot instead of paying
+    per-tick semaphore ops, and the fan-in still sees every watermark
+    advance the classic path would have reported.
+
+    Batches the codec cannot encode (non-``FlowKey`` flows, exotic label
+    types) fall back to the classic pickled ``progress`` message -- counted
+    in :meth:`stats` -- so output never depends on the transport.
+    """
+
+    def __init__(self, channel: _WorkerChannel, ring, batch_slots: bool = True) -> None:
+        self._channel = channel
+        self._ring = ring
+        self._batch_slots = batch_slots
+        self._pending: list[tuple[int, EstimateBatch]] = []
+        self._pending_cost = 0
+        self._pending_watermark = -math.inf
+        self._shipped_watermark = -math.inf
+        self._queue_fallbacks = 0
+
+    @property
+    def ring_mode(self) -> bool:
+        return self._ring is not None
+
+    def emit(self, items, low_watermark) -> None:
+        """One tick's output: buffer it, flush, or fall back as appropriate."""
+        if self._ring is None:
+            self._channel.progress(items, low_watermark)
+            return
+        advanced = low_watermark is not None and low_watermark > max(
+            self._shipped_watermark, self._pending_watermark
+        )
+        if not items and not advanced:
+            # Nothing the fan-in could act on: no estimates, no watermark
+            # progress.  The classic path sent these anyway; here they would
+            # only burn slot segments.
+            return
+        try:
+            batches = self._encoded(items, low_watermark)
+        except ValueError:
+            # Not flat-encodable (or a single estimate outsizing a slot):
+            # flush first so the queue message cannot overtake ring slots
+            # already filled, then let pickle carry it.
+            self.flush()
+            self._queue_fallbacks += 1
+            self._channel.progress(items, low_watermark)
+            return
+        for size, batch in batches:
+            cost = self._ring.segment_cost(size)
+            if self._pending and self._pending_cost + cost > self._ring.slot_bytes:
+                self.flush()
+            self._pending.append((size, batch))
+            self._pending_cost += cost
+        if low_watermark is not None and low_watermark > self._pending_watermark:
+            self._pending_watermark = low_watermark
+        if advanced or not self._batch_slots:
+            self.flush()
+
+    def _encoded(self, items, low_watermark) -> list[tuple[int, EstimateBatch]]:
+        """Flat-encode ``items`` into slot-sized batches.
+
+        Pure (no batcher state is touched), so a :class:`ValueError` from an
+        un-encodable item can never leave half a tick in the pending list --
+        the caller falls back with the *whole* tick exactly once.
+        """
+        batch = EstimateBatch.from_estimates(items, low_watermark)
+        size = batch.byte_size()
+        if self._ring.segment_cost(size) <= self._ring.slot_bytes:
+            return [(size, batch)]
+        if len(items) <= 1:
+            raise ValueError("a single estimate outsizes a return-ring slot")
+        mid = len(items) // 2
+        return self._encoded(items[:mid], low_watermark) + self._encoded(
+            items[mid:], low_watermark
+        )
+
+    def flush(self) -> None:
+        """Pack every pending batch into one return-ring slot and announce it."""
+        if not self._pending:
+            return
+        payloads = [(size, batch.write_into) for size, batch in self._pending]
+        # Blocking push: the parent frees return slots whenever it pumps its
+        # output queue, which it does inside every one of its own blocking
+        # loops, and an aborting parent terminates the worker outright.
+        self._ring.try_push_segments(payloads, timeout=None)
+        self._channel.estimates_ready()
+        if self._pending_watermark > self._shipped_watermark:
+            self._shipped_watermark = self._pending_watermark
+        self._pending = []
+        self._pending_cost = 0
+
+    def stats(self) -> dict:
+        """Reverse-path transport counters for the shard's ``done`` stats."""
+        stats = dict(self._ring.transport_stats()) if self._ring is not None else {}
+        stats["queue_fallbacks"] = self._queue_fallbacks
+        return stats
+
+
 def shard_worker_main(
     shard_id: int,
     pipeline_payload: str,
@@ -110,13 +235,19 @@ def shard_worker_main(
     in_queue,
     out_queue,
     ring_handle=None,
+    return_handle=None,
+    batch_slots: bool = True,
 ) -> None:
     """Worker process entry point (module-level, hence spawn-picklable)."""
     channel = _WorkerChannel(shard_id, out_queue)
     ring = None
+    return_ring = None
     try:
         if ring_handle is not None:
             ring = ring_handle.attach()
+        if return_handle is not None:
+            return_ring = return_handle.attach()
+        returns = _EstimateReturn(channel, return_ring, batch_slots=batch_slots)
         pipeline = QoEPipeline.from_payload(json.loads(pipeline_payload))
         config = (
             PipelineConfig.from_dict(config_dict) if config_dict is not None else pipeline.config
@@ -130,20 +261,11 @@ def shard_worker_main(
         n_packets = 0
         n_evicted = 0
         evicted_keys: set = set()
-        while True:
-            message = in_queue.get()
-            kind = message[0]
-            if kind == "stop":
-                break
-            if kind == "shm":
-                # The paired slot is guaranteed pending: the parent releases
-                # the slot's ready semaphore before enqueueing the token, and
-                # both sides walk ring slots in token order.
-                chunk = ring.pop()
-            else:
-                chunk = message[1]
+
+        def consume(chunk, is_block: bool) -> None:
+            """One inference tick: push, sweep idle flows, emit the output."""
+            nonlocal newest_ts, n_packets, n_evicted
             n_packets += len(chunk)
-            is_block = kind in ("block", "shm")
             if is_block:
                 emitted = engine.push_block(chunk)
             else:
@@ -161,25 +283,53 @@ def shard_worker_main(
                     n_evicted += len(sweep_flows)
                     evicted_keys.update(sweep_flows)
                     emitted.extend(evicted)
+            returns.emit(emitted, engine.low_watermark(new_flow_slack_s))
+
+        while True:
+            message = in_queue.get()
+            kind = message[0]
+            if kind == "stop":
+                break
             if kind == "shm":
-                # Consumed: push_block copied everything it keeps, and the
-                # eviction timestamp above is a scalar.  Drop the last view
-                # of the slot, then recycle it for the parent.
-                chunk = None
-                ring.release()
-            channel.progress(emitted, engine.low_watermark(new_flow_slack_s))
+                # The paired slot is guaranteed pending: the parent releases
+                # the slot's ready semaphore before enqueueing the token, and
+                # both sides walk ring slots in token order.  Each segment is
+                # one routed tick, consumed exactly as if it had arrived in
+                # its own message -- slot batching changes wire granularity,
+                # never the tick sequence.
+                segments = ring.pop_segments()
+                try:
+                    for segment in segments:
+                        consume(PacketBlock.read_from(segment), True)
+                finally:
+                    # Consumed: push_block copied everything it keeps, the
+                    # eviction timestamp is a scalar, and the decoded blocks
+                    # died with consume's frame.  Drop the views, then
+                    # recycle the slot for the parent.
+                    segments = None
+                    ring.release()
+            else:
+                consume(message[1], kind == "block")
         tail = engine.flush()
+        if returns.ring_mode:
+            returns.emit(tail, None)
+            returns.flush()
+            tail = []
         stats = {
             "n_packets": n_packets,
             "n_flows": len(evicted_keys | set(engine.flows)),
             "n_evicted_flows": n_evicted,
         }
+        if returns.ring_mode:
+            stats["transport"] = {"reverse": returns.stats()}
         channel.done(tail, stats)
     except BaseException:
         channel.error(traceback.format_exc())
     finally:
         if ring is not None:
             ring.close()
+        if return_ring is not None:
+            return_ring.close()
 
 
 class ShardWorker:
@@ -201,13 +351,17 @@ class ShardWorker:
         queue_depth: int = 8,
         new_flow_slack_s: float | None = None,
         ring=None,
+        return_ring=None,
+        batch_slots: bool = True,
     ) -> None:
         self.shard_id = shard_id
         self.in_queue = ctx.Queue(maxsize=queue_depth)
-        #: The shard's shared-memory block ring (``None`` on the queue
-        #: transports).  The parent is the producer; the worker attaches the
-        #: consumer side from the handle passed in its arguments.
+        #: The shard's shared-memory block rings (``None`` on the queue
+        #: transports).  The parent produces into ``ring`` and consumes from
+        #: ``return_ring``; the worker attaches the opposite sides from the
+        #: handles passed in its arguments.
         self.ring = ring
+        self.return_ring = return_ring
         self.process = ctx.Process(
             target=shard_worker_main,
             args=(
@@ -218,6 +372,8 @@ class ShardWorker:
                 self.in_queue,
                 out_queue,
                 ring.handle() if ring is not None else None,
+                return_ring.handle() if return_ring is not None else None,
+                batch_slots,
             ),
             daemon=True,
             name=f"qoe-shard-{shard_id}",

@@ -62,6 +62,35 @@ class PipelineEstimate:
     resolution: str | None
     source: str  # "ml" or "heuristic"
 
+    @classmethod
+    def _from_wire(
+        cls,
+        window_start: float,
+        frame_rate: float,
+        bitrate_kbps: float,
+        frame_jitter_ms: float,
+        resolution: str | None,
+        source: str,
+    ) -> "PipelineEstimate":
+        """Trusted fast constructor for decoded wire rows.
+
+        ``frozen=True`` makes ``__init__`` pay one ``object.__setattr__``
+        per field; the return-path decoder materializes millions of these,
+        so it writes the instance dict directly -- the same shortcut
+        ``pickle`` takes -- which is safe exactly because every field is a
+        plain value the codec just produced.
+        """
+        estimate = object.__new__(cls)
+        estimate.__dict__.update(
+            window_start=window_start,
+            frame_rate=frame_rate,
+            bitrate_kbps=bitrate_kbps,
+            frame_jitter_ms=frame_jitter_ms,
+            resolution=resolution,
+            source=source,
+        )
+        return estimate
+
 
 class QoEPipeline:
     """Estimate per-second VCA QoE from IP/UDP headers only.

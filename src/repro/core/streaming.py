@@ -98,10 +98,25 @@ class StreamEstimate:
 
     ``flow`` is the unidirectional 5-tuple the estimate belongs to, or
     ``None`` when the engine runs in single-flow mode (``demux_flows=False``).
+
+    The sharded monitor's return path ships these in columnar batches (see
+    :class:`~repro.net.estwire.EstimateBatch`): a worker's tick emissions are
+    flat-encoded into a shared-memory ring slot and rebuilt on the parent
+    side bit-identically, so the estimates a sink observes never depend on
+    the transport.
     """
 
     flow: FlowKey | None
     estimate: "PipelineEstimate"
+
+    @classmethod
+    def _from_wire(cls, flow: FlowKey | None, estimate: "PipelineEstimate") -> "StreamEstimate":
+        """Trusted fast constructor for decoded wire rows (see
+        :meth:`PipelineEstimate._from_wire
+        <repro.core.pipeline.PipelineEstimate._from_wire>`)."""
+        item = object.__new__(cls)
+        item.__dict__.update(flow=flow, estimate=estimate)
+        return item
 
 
 class _FlowStream:

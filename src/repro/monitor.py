@@ -64,6 +64,14 @@ class MonitorReport:
     ``n_packets`` / ``n_flows`` (properties, so they cannot drift);
     ``wall_time_s`` is excluded from equality so two runs over the same
     capture compare equal.
+
+    ``transport`` carries fleet-level shared-memory ring telemetry on the
+    sharded monitor's ``"shm"`` transport (``{"forward": {...}, "reverse":
+    {...}}`` counters: slot occupancy high-water mark, slots
+    written/reused, segments per slot, queue fallbacks) and is empty for
+    every other deployment shape.  Like ``wall_time_s`` it describes how
+    the run executed rather than what it computed, so it is excluded from
+    equality too.
     """
 
     n_packets: int
@@ -71,6 +79,7 @@ class MonitorReport:
     n_flows: int
     n_evicted_flows: int
     wall_time_s: float = field(default=0.0, compare=False)
+    transport: dict = field(default_factory=dict, compare=False)
 
     @property
     def packets_consumed(self) -> int:

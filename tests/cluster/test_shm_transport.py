@@ -346,6 +346,164 @@ class TestShmTransportEquivalence:
         assert as_rows(shallow.items) == as_rows(deep.items)
 
 
+class _RecordingQueue:
+    """Wraps a worker's input queue, recording the kind of every message."""
+
+    def __init__(self, inner, kinds):
+        self._inner = inner
+        self._kinds = kinds
+
+    def put(self, message, timeout=None):
+        self._kinds.append(message[0])
+        self._inner.put(message, timeout=timeout)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class _RecordingMonitor(ShardedQoEMonitor):
+    """Records every worker->parent message the parent handles."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.reverse_messages = []
+
+    def _handle(self, message):
+        self.reverse_messages.append(message)
+        super()._handle(message)
+
+
+class TestZeroPickleReturnPath:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_queue_return_matches_ring_return(self, many_flow_packets, n_workers):
+        pipeline = QoEPipeline.for_vca("teams")
+        ring_sink, ring_report, monitor = run_sharded(
+            pipeline, many_flow_packets, n_workers, transport="shm", shm_return="ring"
+        )
+        queue_sink, queue_report, _ = run_sharded(
+            pipeline, many_flow_packets, n_workers, transport="shm", shm_return="queue"
+        )
+        assert as_rows(ring_sink.items) == as_rows(queue_sink.items)
+        # Reports compare equal even though their transport telemetry differs
+        # (ring mode has a "reverse" direction, queue mode does not): the
+        # field is excluded from equality like wall_time_s.
+        assert ring_report == queue_report
+        assert "reverse" in ring_report.transport
+        assert "reverse" not in queue_report.transport
+        assert no_segment_leaked(ring_names(monitor))
+
+    def test_batched_and_unbatched_slots_match(self, many_flow_packets):
+        pipeline = QoEPipeline.for_vca("teams")
+        batched, batched_report, monitor = run_sharded(
+            pipeline, many_flow_packets, 2, transport="shm", chunk_size=16
+        )
+        unbatched, unbatched_report, _ = run_sharded(
+            pipeline, many_flow_packets, 2, transport="shm", chunk_size=16,
+            shm_batch_slots=False,
+        )
+        assert as_rows(batched.items) == as_rows(unbatched.items)
+        assert batched_report == unbatched_report
+        # Batching is what amortizes semaphore ops: with 16-packet chunks the
+        # batched run must pack strictly more segments per slot...
+        packed = batched_report.transport["forward"]
+        single = unbatched_report.transport["forward"]
+        assert packed["max_segments_per_slot"] > 1
+        assert single["max_segments_per_slot"] == 1
+        # ...and therefore burn fewer slots for the same segment stream.
+        assert packed["slots_written"] < single["slots_written"]
+        assert no_segment_leaked(ring_names(monitor))
+
+    def test_tiny_return_slots_split_batches(self, many_flow_packets):
+        # shm_slot_bytes applies to both directions: 1 KiB slots force the
+        # return batcher to split tick batches across slots (and the forward
+        # router to split blocks), without changing the merged output.
+        pipeline = QoEPipeline.for_vca("teams")
+        small, _, monitor = run_sharded(
+            pipeline, many_flow_packets, 2, transport="shm", shm_slot_bytes=1024
+        )
+        large, _, _ = run_sharded(pipeline, many_flow_packets, 2, transport="shm")
+        assert as_rows(small.items) == as_rows(large.items)
+        assert no_segment_leaked(ring_names(monitor))
+
+    def test_trained_ring_return_bit_identical(self, many_flow_packets, trained_pipeline):
+        single = CollectorSink()
+        QoEMonitor(trained_pipeline, IteratorSource(iter(many_flow_packets)), sinks=single).run()
+        expected = as_rows(fan_in_order(single.items))
+        sink, _, monitor = run_sharded(
+            trained_pipeline, many_flow_packets, 2, transport="shm", shm_return="ring"
+        )
+        assert as_rows(sink.items) == expected
+        assert no_segment_leaked(ring_names(monitor))
+
+    def test_shm_return_validated(self, many_flow_packets):
+        with pytest.raises(ValueError, match="shm_return"):
+            ShardedQoEMonitor(
+                QoEPipeline.for_vca("teams"),
+                IteratorSource(iter(many_flow_packets)),
+                shm_return="carrier-pigeon",
+            )
+
+    def test_transport_stats_surface(self, many_flow_packets):
+        pipeline = QoEPipeline.for_vca("teams")
+        _, report, monitor = run_sharded(
+            pipeline, many_flow_packets, 2, transport="shm", chunk_size=32
+        )
+        for stats in monitor.shard_stats:
+            for direction in ("forward", "reverse"):
+                counters = stats["transport"][direction]
+                assert counters["slots_written"] >= 1
+                assert counters["segments_written"] >= counters["slots_written"]
+                assert counters["max_segments_per_slot"] >= 1
+                assert counters["occupancy_hwm"] >= 1
+                assert counters["queue_fallbacks"] == 0
+                assert counters["slot_reuses"] == max(
+                    0, counters["slots_written"] - monitor.queue_depth
+                )
+        # The report aggregates: counts sum, high-water marks max.
+        for direction in ("forward", "reverse"):
+            per_shard = [stats["transport"][direction] for stats in monitor.shard_stats]
+            agg = report.transport[direction]
+            assert agg["slots_written"] == sum(c["slots_written"] for c in per_shard)
+            assert agg["occupancy_hwm"] == max(c["occupancy_hwm"] for c in per_shard)
+
+    def test_no_payload_crosses_a_queue(self, many_flow_packets, monkeypatch):
+        """The zero-pickle pin: with flat-encodable traffic, both queues
+        carry only slot tokens and control messages -- no PacketBlock, no
+        estimate payload."""
+        import repro.cluster.monitor as monitor_module
+        from repro.cluster.worker import ShardWorker
+
+        forward_kinds: list = []
+
+        class RecordingWorker(ShardWorker):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.in_queue = _RecordingQueue(self.in_queue, forward_kinds)
+
+        monkeypatch.setattr(monitor_module, "ShardWorker", RecordingWorker)
+        sink = CollectorSink()
+        monitor = _RecordingMonitor(
+            QoEPipeline.for_vca("teams"),
+            IteratorSource(iter(many_flow_packets)),
+            sinks=sink,
+            n_workers=2,
+            transport="shm",
+        )
+        monitor.run()
+        assert sink.items
+        # Forward: slot tokens and the stop control, nothing else.
+        assert "shm" in forward_kinds
+        assert set(forward_kinds) <= {"shm", "stop"}
+        # Reverse: slot tokens and the final done controls, nothing else --
+        # and the done message's item list is empty (the tail rode the ring).
+        kinds = {message[0] for message in monitor.reverse_messages}
+        assert "est" in kinds
+        assert kinds <= {"est", "done"}
+        for message in monitor.reverse_messages:
+            if message[0] == "done":
+                assert message[2] == []
+
+
 class _AbortSink(CollectorSink):
     """Raises once a few estimates have arrived: a parent-side abort."""
 
@@ -366,6 +524,10 @@ class TestShmCleanup:
         )
         with pytest.raises(RuntimeError, match="synthetic sink failure"):
             monitor.run()
+        # Both directions were attached (forward + reverse ring per shard)
+        # and every segment was reclaimed despite the abort -- which exercises
+        # the sink raising *inside* the return-slot decode.
+        assert len(ring_names(monitor)) == 2 * monitor.n_workers
         assert no_segment_leaked(ring_names(monitor))
 
     def test_worker_death_raises_and_unlinks_segments(self, many_flow_packets):
@@ -392,6 +554,9 @@ class TestShmCleanup:
         monitor_box["monitor"] = monitor
         with pytest.raises(RuntimeError, match="shard worker"):
             monitor.run()
+        # The SIGKILLed worker had both a forward and a reverse ring attached
+        # untracked; the parent alone reclaimed all of them.
+        assert len(ring_names(monitor)) == 2 * monitor.n_workers
         assert no_segment_leaked(ring_names(monitor))
 
     def test_shm_transport_requires_availability_flag(self, many_flow_packets, monkeypatch):
@@ -413,12 +578,15 @@ class TestWorkerChannelProtocol:
         out: queue.Queue = queue.Queue()
         channel = _WorkerChannel(3, out)
         channel.progress([], 1.0)
+        channel.estimates_ready()
         channel.done([], {})
         with pytest.raises(RuntimeError, match="progress after done"):
             channel.progress([], 2.0)
+        with pytest.raises(RuntimeError, match="progress after done"):
+            channel.estimates_ready()
         with pytest.raises(RuntimeError, match="done twice"):
             channel.done([], {})
         kinds = []
         while not out.empty():
             kinds.append(out.get_nowait()[0])
-        assert kinds == ["progress", "done"]
+        assert kinds == ["progress", "est", "done"]
