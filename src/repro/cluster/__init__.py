@@ -13,15 +13,26 @@ The scale-out layer on top of the Source -> Engine -> Sink architecture:
 * :class:`~repro.cluster.shm.BlockRing` -- the zero-copy shared-memory
   block transport between router and workers (``transport="shm"``);
 * :class:`~repro.cluster.monitor.ShardedQoEMonitor` -- the facade, same
-  ``run() -> MonitorReport`` surface as :class:`~repro.monitor.QoEMonitor`.
+  ``run() -> MonitorReport`` surface as :class:`~repro.monitor.QoEMonitor`;
+* :mod:`~repro.cluster.rebalance` -- elastic sharding policies: live flow
+  migration between workers (snapshot / restore via
+  :mod:`~repro.net.flowwire`) driven by per-shard load, enabled with
+  ``ShardedQoEMonitor(rebalance=...)``.
 
 Output is estimate-for-estimate identical to the single-process monitor,
 in the deterministic fan-in order ``(window_start, flow)``, for any worker
-count.
+count -- with or without live migrations.
 """
 
 from repro.cluster.fanin import FanInSink, flow_sort_key
 from repro.cluster.monitor import ShardedQoEMonitor
+from repro.cluster.rebalance import (
+    GreedyRebalancer,
+    Migration,
+    RebalancePolicy,
+    ScheduledRebalancer,
+    ShardLoad,
+)
 from repro.cluster.router import FlowShardRouter
 from repro.cluster.shm import BlockRing, shm_available
 from repro.cluster.worker import ShardWorker
@@ -34,4 +45,9 @@ __all__ = [
     "ShardedQoEMonitor",
     "flow_sort_key",
     "shm_available",
+    "RebalancePolicy",
+    "GreedyRebalancer",
+    "ScheduledRebalancer",
+    "Migration",
+    "ShardLoad",
 ]

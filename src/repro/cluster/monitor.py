@@ -36,14 +36,18 @@ import queue as queue_module
 from pathlib import Path
 from time import perf_counter
 
+import numpy as np
+
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import QoEPipeline
 from repro.cluster.fanin import FanInSink
+from repro.cluster.rebalance import RebalancePolicy, ShardLoad
 from repro.cluster.router import FlowShardRouter
 from repro.cluster.shm import DEFAULT_SLOT_BYTES, BlockRing, shm_available
 from repro.cluster.worker import ShardWorker
 from repro.monitor import MonitorReport
 from repro.net.estwire import EstimateBatch
+from repro.net.flows import five_tuple
 from repro.sources.base import PacketSource, as_source, iter_blocks
 
 __all__ = ["ShardedQoEMonitor"]
@@ -137,6 +141,78 @@ class _ShmBatcher:
         return stats
 
 
+class _RebalanceDriver:
+    """Parent-side rebalancing loop: observe load, tick the policy, migrate.
+
+    Keeps per-shard, per-canonical-flow packet counts from the routing path
+    (so a load signal exists even before the first worker telemetry
+    arrives) and a stream-time clock from packet timestamps, so policy
+    ticks -- and therefore migrations -- are a deterministic function of
+    the trace and the policy, not of scheduler timing.
+    """
+
+    def __init__(self, monitor: "ShardedQoEMonitor", policy: RebalancePolicy) -> None:
+        self._monitor = monitor
+        self._policy = policy
+        self._now: float | None = None
+        self._interval_start: float | None = None
+        self._flow_packets: list[dict] = [{} for _ in range(monitor.n_workers)]
+        self._interval_packets = [0] * monitor.n_workers
+
+    def observe_block(self, block) -> None:
+        """Account one source block (called before it is partitioned)."""
+        if not len(block):
+            return
+        codes, counts = np.unique(block.flow_codes, return_counts=True)
+        for code, count in zip(codes.tolist(), counts.tolist()):
+            self._note(block.flows[code], count)
+        self._advance(float(block.timestamps.max()))
+
+    def observe_packet(self, packet) -> None:
+        """Account one source packet (the legacy per-packet transport)."""
+        self._note(five_tuple(packet), 1)
+        self._advance(packet.timestamp)
+
+    def _note(self, key, count: int) -> None:
+        shard_id = self._monitor.router.shard_of_key(key)
+        canonical = key.bidirectional()[0]
+        flow_packets = self._flow_packets[shard_id]
+        flow_packets[canonical] = flow_packets.get(canonical, 0) + count
+        self._interval_packets[shard_id] += count
+
+    def _advance(self, timestamp: float) -> None:
+        if self._now is None or timestamp > self._now:
+            self._now = timestamp
+        if self._interval_start is None:
+            self._interval_start = timestamp
+
+    def tick(self) -> None:
+        """Run the policy once per elapsed ``interval_s`` of stream time."""
+        if self._now is None or self._interval_start is None:
+            return
+        if self._now - self._interval_start < self._policy.interval_s:
+            return
+        monitor = self._monitor
+        loads = []
+        for shard_id in range(monitor.n_workers):
+            telemetry = monitor.shard_loads[shard_id] or {}
+            loads.append(
+                ShardLoad(
+                    shard_id=shard_id,
+                    live_flows=telemetry.get("live_flows", 0),
+                    buffered_packets=telemetry.get("buffered_packets", 0),
+                    open_windows=telemetry.get("open_windows", 0),
+                    interval_packets=self._interval_packets[shard_id],
+                    flow_packets=self._flow_packets[shard_id],
+                )
+            )
+        for migration in self._policy.plan(self._now, loads)[: self._policy.max_migrations]:
+            monitor._migrate(migration.flow, migration.dst)
+        self._interval_start = self._now
+        self._flow_packets = [{} for _ in range(monitor.n_workers)]
+        self._interval_packets = [0] * monitor.n_workers
+
+
 class ShardedQoEMonitor:
     """Run a trained-or-heuristic pipeline as an N-worker sharded deployment.
 
@@ -217,6 +293,18 @@ class ShardedQoEMonitor:
         watermarks (default: two windows).  Larger values delay fan-in
         release; smaller values risk out-of-order delivery on skewed
         sources.
+    rebalance:
+        A :class:`~repro.cluster.rebalance.RebalancePolicy` enabling
+        **elastic sharding**: at every ``interval_s`` of stream time the
+        policy sees per-shard load (worker telemetry + the parent's routing
+        counts) and plans up to ``max_migrations`` flow re-homings, each
+        executed as a synchronous stop-and-copy cut -- the old shard drains
+        the flow into a :class:`~repro.net.flowwire.FlowSnapshot`, the new
+        shard restores it push-identically, and the fan-in fences releases
+        across the cut so the merged output stays bit-identical to (and in
+        the same order as) a run that never migrated.  ``None`` (default)
+        preserves the static CRC-32 map with zero overhead beyond one falsy
+        branch per routed flow lookup.
     """
 
     def __init__(
@@ -234,6 +322,7 @@ class ShardedQoEMonitor:
         shm_slot_bytes: int | None = None,
         shm_return: str = "ring",
         shm_batch_slots: bool = True,
+        rebalance: RebalancePolicy | None = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
@@ -271,12 +360,20 @@ class ShardedQoEMonitor:
         self.shm_slot_bytes = shm_slot_bytes
         self.shm_return = shm_return
         self.shm_batch_slots = shm_batch_slots
-        #: Per-shard ``{"n_packets", "n_flows", "n_evicted_flows"}`` of the
-        #: completed run (index = shard id); on the ``"shm"`` transport a
-        #: ``"transport"`` entry adds per-direction ring telemetry
-        #: (occupancy high-water mark, slots written/reused, segments per
-        #: slot, queue fallbacks).
+        self.rebalance = rebalance
+        #: Per-shard ``{"n_packets", "n_flows", "n_evicted_flows", "load"}``
+        #: of the completed run (index = shard id); on the ``"shm"``
+        #: transport a ``"transport"`` entry adds per-direction ring
+        #: telemetry (occupancy high-water mark, slots written/reused,
+        #: segments per slot, queue fallbacks).
         self.shard_stats: list[dict] = []
+        #: Latest per-shard load telemetry (index = shard id; ``None`` until
+        #: a shard's first watermark-bearing message arrives).  Live during
+        #: the run -- this is the mid-run load signal the rebalancer reads.
+        self.shard_loads: list[dict | None] = [None] * n_workers
+        #: Completed migrations, in execution order: ``{"epoch", "flow",
+        #: "src", "dst", "latency_s"}`` per re-homing.
+        self.migrations: list[dict] = []
         self._ran = False
 
     # -- construction shortcuts ------------------------------------------------
@@ -364,8 +461,18 @@ class ShardedQoEMonitor:
         self._rings = rings
         self._return_rings = return_rings
         self._batchers: list[_ShmBatcher] | None = None
+        self._buffers: list[list] | None = None
         self._done = [False] * self.n_workers
         self._stats: list[dict | None] = [None] * self.n_workers
+        #: In-flight migration plumbing: ``migrated`` replies awaiting
+        #: pickup, fences installed, and per-dst fences acked but not yet
+        #: lifted (waiting for the dst's first post-restore watermark).
+        self._migrated: dict[int, tuple] = {}
+        self._live_fences: set[int] = set()
+        self._acked_fences: dict[int, list[int]] = {}
+        driver = (
+            _RebalanceDriver(self, self.rebalance) if self.rebalance is not None else None
+        )
         n_packets = 0
         try:
             for worker in workers:
@@ -389,6 +496,8 @@ class ShardedQoEMonitor:
                     send_block = lambda worker, sub: self._send(worker, ("block", sub))
                 for block in iter_blocks(self.source, self.chunk_size):
                     n_packets += len(block)
+                    if driver is not None:
+                        driver.observe_block(block)
                     for shard_id, sub_block in self.router.partition_block(block):
                         send_block(workers[shard_id], sub_block)
                     # Drain whatever the workers produced so far: estimates
@@ -396,13 +505,20 @@ class ShardedQoEMonitor:
                     # scrapes work) and parent memory stays O(in-flight),
                     # not O(all estimates of the capture).
                     self._pump()
+                    if driver is not None:
+                        # Migrations cut between blocks: every packet of the
+                        # block is routed (or slot-buffered) before any flow
+                        # of it can move.
+                        driver.tick()
                 if self._batchers is not None:
                     for batcher in self._batchers:
                         batcher.flush()
             else:
-                buffers: list[list] = [[] for _ in range(self.n_workers)]
+                self._buffers = buffers = [[] for _ in range(self.n_workers)]
                 for packet in self.source:
                     n_packets += 1
+                    if driver is not None:
+                        driver.observe_packet(packet)
                     shard_id = self.router.shard_of(packet)
                     buffer = buffers[shard_id]
                     buffer.append(packet)
@@ -410,6 +526,8 @@ class ShardedQoEMonitor:
                         self._send(workers[shard_id], ("chunk", buffer))
                         buffers[shard_id] = []
                         self._pump()
+                        if driver is not None:
+                            driver.tick()
                 for shard_id, buffer in enumerate(buffers):
                     if buffer:
                         self._send(workers[shard_id], ("chunk", buffer))
@@ -440,14 +558,120 @@ class ShardedQoEMonitor:
         if self._batchers is not None:
             for stats, batcher in zip(self.shard_stats, self._batchers):
                 stats.setdefault("transport", {})["forward"] = batcher.stats()
+        transport = self._aggregate_transport()
+        if self.rebalance is not None:
+            transport["rebalance"] = {"migrations": len(self.migrations)}
         return MonitorReport(
             n_packets=n_packets,
             n_estimates=fan_in.records_released,
             n_flows=sum(stats.get("n_flows", 0) for stats in self.shard_stats),
             n_evicted_flows=sum(stats.get("n_evicted_flows", 0) for stats in self.shard_stats),
             wall_time_s=perf_counter() - started,
-            transport=self._aggregate_transport(),
+            transport=transport,
         )
+
+    # -- live migration --------------------------------------------------------
+
+    def _migrate(self, flow, dst: int) -> None:
+        """Synchronously re-home one canonical flow pair (stop-and-copy).
+
+        The cut happens between routed blocks: the source shard first
+        receives everything already routed to it (its batcher / buffer is
+        flushed ahead of the control message on the same FIFO queue), drains
+        the pair into snapshots, and replies.  A fan-in fence then covers
+        the in-flight windows until the destination has restored the pair
+        and reported a fresh watermark -- see ``_lift_fences``.  The router
+        overlay is updated last, so every packet routed before the cut went
+        to the old home and every one after goes to the new.
+        """
+        if not 0 <= dst < self.n_workers:
+            raise ValueError(f"migration dst {dst!r} out of range for {self.n_workers} shards")
+        canonical = flow.bidirectional()[0]
+        src = self.router.shard_of_key(canonical)
+        if src == dst or self._done[src] or self._done[dst]:
+            return
+        epoch = self.router.next_epoch()
+        started = perf_counter()
+        if self._batchers is not None:
+            self._batchers[src].flush()
+        if self._buffers is not None and self._buffers[src]:
+            self._send(self._workers[src], ("chunk", self._buffers[src]))
+            self._buffers[src] = []
+        self._send(self._workers[src], ("migrate_out", canonical, epoch))
+        parts, bound, counted = self._await_migration(src, epoch)
+        if parts and bound is not None:
+            self._fan_in.add_fence(epoch, bound)
+            self._live_fences.add(epoch)
+        self._send(self._workers[dst], ("migrate_in", canonical, epoch, parts, counted))
+        self.router.set_override(canonical, dst)
+        self.migrations.append(
+            {
+                "epoch": epoch,
+                "flow": canonical,
+                "src": src,
+                "dst": dst,
+                "latency_s": perf_counter() - started,
+            }
+        )
+
+    def _await_migration(self, src: int, epoch: int) -> tuple:
+        """Pump worker output until shard ``src``'s ``migrated`` reply lands.
+
+        Keeps handling interleaved messages (est tokens free return-ring
+        slots, so the drain cannot deadlock) and surfaces a worker death
+        instead of hanging.
+        """
+        while epoch not in self._migrated:
+            try:
+                message = self._out_queue.get(timeout=0.1)
+            except queue_module.Empty:
+                worker = self._workers[src]
+                if not worker.alive and not self._done[src]:
+                    self._pump()
+                    if epoch in self._migrated:
+                        break
+                    raise RuntimeError(
+                        f"shard worker {src} died (exit code "
+                        f"{worker.process.exitcode}) during migration epoch {epoch}"
+                    )
+                continue
+            self._handle(message)
+        return self._migrated.pop(epoch)
+
+    def _lift_fences(self, shard_id: int, low_watermark: float | None) -> None:
+        """Lift fences whose destination shard reported a post-restore bound.
+
+        A migration's fence outlives its ``migrate_ack``: the destination's
+        *recorded* fan-in watermark predates the restore and may exceed the
+        migrated flow's pending windows, so the fence holds until the
+        shard's first watermark computed with the flow live again.  That
+        watermark is the one sanctioned regression -- it is installed
+        verbatim (``rebase_watermark``) and only then are the fences
+        dropped.
+
+        Called *after* the batch carrying ``low_watermark`` has been
+        accepted: the batch itself may contain windows below its trailing
+        watermark (legal -- the watermark bounds *future* emissions), and
+        lifting the fence first would let the release threshold pass items
+        that are still in the message being handled.  Accepting first is
+        safe because the fence keeps capping the threshold throughout the
+        accept, stale recorded watermark or not.
+        """
+        if low_watermark is None:
+            return
+        epochs = self._acked_fences.pop(shard_id, None)
+        if not epochs:
+            return
+        self._fan_in.rebase_watermark(shard_id, low_watermark)
+        for epoch in epochs:
+            self._live_fences.discard(epoch)
+            self._fan_in.clear_fence(epoch)
+
+    def _clear_fences(self, shard_id: int) -> None:
+        """Drop a finishing shard's pending fences: its flush has arrived."""
+        for epoch in self._acked_fences.pop(shard_id, ()):
+            self._live_fences.discard(epoch)
+            self._fan_in.clear_fence(epoch)
 
     # -- internals -------------------------------------------------------------
 
@@ -514,15 +738,20 @@ class ShardedQoEMonitor:
     def _handle(self, message) -> None:
         kind = message[0]
         if kind == "progress":
-            _, shard_id, items, low_watermark = message
+            _, shard_id, items, low_watermark, load = message
+            if load is not None:
+                self.shard_loads[shard_id] = load
             self._fan_in.accept(shard_id, items, low_watermark)
+            self._lift_fences(shard_id, low_watermark)
         elif kind == "est":
             # One filled return-ring slot: decode every tick batch in it
             # (zero-copy views over the slot), feed the fan-in, then recycle
             # the slot.  The pairing mirrors the forward direction: the
             # worker fills the slot before enqueueing the token, and both
             # sides walk slots in token order.
-            _, shard_id = message
+            _, shard_id, load = message
+            if load is not None:
+                self.shard_loads[shard_id] = load
             ring = self._return_rings[shard_id]
             segments = ring.pop_segments(timeout=5.0)
             if segments is None:  # pragma: no cover - token/slot pairing guard
@@ -533,6 +762,7 @@ class ShardedQoEMonitor:
                 for segment in segments:
                     batch = EstimateBatch.read_from(segment)
                     self._fan_in.accept(shard_id, batch.to_estimates(), batch.low_watermark)
+                    self._lift_fences(shard_id, batch.low_watermark)
                     batch = None
             finally:
                 segments = None
@@ -545,10 +775,23 @@ class ShardedQoEMonitor:
                     pass
         elif kind == "done":
             _, shard_id, items, stats = message
+            if stats.get("load") is not None:
+                self.shard_loads[shard_id] = stats["load"]
             self._fan_in.accept(shard_id, items)
+            self._clear_fences(shard_id)
             self._fan_in.finish(shard_id)
             self._done[shard_id] = True
             self._stats[shard_id] = stats
+        elif kind == "migrated":
+            _, shard_id, epoch, parts, bound, counted = message
+            self._migrated[epoch] = (parts, bound, counted)
+        elif kind == "migrate_ack":
+            # The pair is live on its new home; its fences now wait for that
+            # shard's next watermark (every message after this ack on the
+            # same FIFO queue was computed with the restored flows present).
+            _, shard_id, epoch = message
+            if epoch in self._live_fences:
+                self._acked_fences.setdefault(shard_id, []).append(epoch)
         elif kind == "error":
             _, shard_id, trace = message
             raise RuntimeError(f"shard worker {shard_id} failed:\n{trace}")

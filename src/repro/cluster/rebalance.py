@@ -1,0 +1,157 @@
+"""Rebalancing policies for elastic sharding: *which* flow moves *where*.
+
+The mechanism -- snapshotting a live flow on one shard and restoring it
+push-identically on another (:mod:`repro.net.flowwire`, the
+``migrate_out`` / ``migrate_in`` worker protocol) -- lives in the monitor
+and workers.  This module is the *policy* layer: given periodic per-shard
+load (live flows, buffered packets, open windows, plus the parent's own
+per-flow packet counts from routing), decide which canonical flows to
+re-home, under a migrations-per-interval budget.
+
+``ShardedQoEMonitor(rebalance=None)`` -- the default -- never consults any
+of this and preserves the static CRC-32 map exactly.  Policies are
+deterministic functions of the observed load (ties broken by flow sort
+order), so a rebalanced run is reproducible: same trace, same policy, same
+migrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.flows import FlowKey
+
+__all__ = [
+    "Migration",
+    "ShardLoad",
+    "RebalancePolicy",
+    "GreedyRebalancer",
+    "ScheduledRebalancer",
+]
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One planned re-homing: move canonical ``flow`` to shard ``dst``."""
+
+    flow: FlowKey
+    dst: int
+
+
+@dataclass
+class ShardLoad:
+    """One shard's load as seen at a rebalance tick.
+
+    ``live_flows`` / ``buffered_packets`` / ``open_windows`` come from the
+    worker's own telemetry (trailing load field on ``progress`` / ``est``
+    messages); ``interval_packets`` and ``flow_packets`` are the parent's
+    routing-side counts since the previous tick -- per *canonical* flow, so
+    a policy moves whole bidirectional calls.
+    """
+
+    shard_id: int
+    live_flows: int = 0
+    buffered_packets: int = 0
+    open_windows: int = 0
+    interval_packets: int = 0
+    flow_packets: dict = field(default_factory=dict)
+
+
+class RebalancePolicy:
+    """Base class for rebalancing policies.
+
+    ``interval_s`` is measured in *stream time* (packet timestamps), not
+    wall time, so planning is reproducible across machines and replays.
+    ``max_migrations`` caps how many flows one tick may move; migrations
+    are synchronous stop-and-copy cuts, so the budget bounds the stall a
+    tick can add.
+    """
+
+    def __init__(self, interval_s: float = 2.0, max_migrations: int = 2) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s!r}")
+        if max_migrations < 1:
+            raise ValueError(f"max_migrations must be >= 1, got {max_migrations!r}")
+        self.interval_s = interval_s
+        self.max_migrations = max_migrations
+
+    def plan(self, now: float, loads: list[ShardLoad]) -> list[Migration]:
+        """Migrations to perform at stream time ``now`` (may be empty).
+
+        The driver truncates the plan to ``max_migrations`` regardless of
+        what a policy returns.
+        """
+        raise NotImplementedError
+
+
+class GreedyRebalancer(RebalancePolicy):
+    """Move the hottest flows from the hottest shard to the coldest.
+
+    Heat is the interval packet count (the parent's routing-side view --
+    available even before the first worker telemetry arrives).  A move is
+    planned only when the hottest shard carries more than ``min_imbalance``
+    times the coldest's packets *and* has more than one live flow (moving
+    the only flow of a shard just relocates the hot spot).  Among the
+    hottest shard's flows the largest by interval packets moves first, ties
+    broken by flow key so planning is deterministic.
+    """
+
+    def __init__(
+        self,
+        interval_s: float = 2.0,
+        max_migrations: int = 2,
+        min_imbalance: float = 1.5,
+    ) -> None:
+        super().__init__(interval_s=interval_s, max_migrations=max_migrations)
+        if min_imbalance < 1.0:
+            raise ValueError(f"min_imbalance must be >= 1.0, got {min_imbalance!r}")
+        self.min_imbalance = min_imbalance
+
+    def plan(self, now: float, loads: list[ShardLoad]) -> list[Migration]:
+        if len(loads) < 2:
+            return []
+        hottest = max(loads, key=lambda load: (load.interval_packets, -load.shard_id))
+        coldest = min(loads, key=lambda load: (load.interval_packets, load.shard_id))
+        if hottest.shard_id == coldest.shard_id:
+            return []
+        if hottest.interval_packets <= self.min_imbalance * max(coldest.interval_packets, 1):
+            return []
+        if len(hottest.flow_packets) < 2:
+            return []
+        # Hottest flows first; never empty the source shard completely.
+        candidates = sorted(
+            hottest.flow_packets.items(),
+            key=lambda entry: (-entry[1], _flow_order_key(entry[0])),
+        )
+        budget = min(self.max_migrations, len(candidates) - 1)
+        return [Migration(flow=flow, dst=coldest.shard_id) for flow, _ in candidates[:budget]]
+
+
+class ScheduledRebalancer(RebalancePolicy):
+    """Replay a fixed migration schedule: ``[(time_s, flow, dst), ...]``.
+
+    The deterministic-by-construction policy used by the forced-migration
+    tests and CI smoke: each entry fires at the first rebalance tick whose
+    stream time reaches ``time_s``.  ``interval_s`` defaults small so
+    scheduled cuts land close to their nominal times.
+    """
+
+    def __init__(self, schedule, interval_s: float = 0.5, max_migrations: int = 64) -> None:
+        super().__init__(interval_s=interval_s, max_migrations=max_migrations)
+        self._schedule = sorted(
+            ((float(t), flow, int(dst)) for t, flow, dst in schedule),
+            key=lambda entry: (entry[0], _flow_order_key(entry[1]), entry[2]),
+        )
+        self._next = 0
+
+    def plan(self, now: float, loads: list[ShardLoad]) -> list[Migration]:
+        planned: list[Migration] = []
+        while self._next < len(self._schedule) and self._schedule[self._next][0] <= now:
+            _, flow, dst = self._schedule[self._next]
+            planned.append(Migration(flow=flow, dst=dst))
+            self._next += 1
+        return planned
+
+
+def _flow_order_key(flow: FlowKey) -> tuple:
+    return (flow.src, flow.src_port, flow.dst, flow.dst_port, flow.protocol)

@@ -20,11 +20,27 @@ only slot tokens)::
     parent -> worker:  ("block", PacketBlock)          one routed tick (columnar)
                        ("shm",)                        one ring slot (>= 1 routed ticks)
                        ("chunk", [Packet, ...])        one routed tick (legacy)
+                       ("migrate_out", key, epoch)     drain + snapshot one flow pair
+                       ("migrate_in", key, epoch, parts, counted)   restore it
                        ("stop",)                       end of source
-    worker -> parent:  ("progress", shard_id, [StreamEstimate], low_watermark)
-                       ("est", shard_id)               one return-ring slot (>= 1 tick batches)
+    worker -> parent:  ("progress", shard_id, [StreamEstimate], low_watermark, load)
+                       ("est", shard_id, load)         one return-ring slot (>= 1 tick batches)
+                       ("migrated", shard_id, epoch, parts, bound, counted)
+                       ("migrate_ack", shard_id, epoch)
                        ("done", shard_id, [StreamEstimate], stats dict)
                        ("error", shard_id, traceback string)
+
+``load`` is the shard's live telemetry (live flows, buffered packets, open
+windows -- :meth:`StreamingQoEPipeline.load_stats`), attached to every
+watermark-bearing message so the parent has a mid-run load signal (the
+rebalancer's input; terminal ``done`` stats carry the final reading).  The
+``migrate_*`` messages are the elastic-sharding cut (PR 7): the parent asks
+the old home to drain a canonical flow pair, receives the encoded
+:class:`~repro.net.flowwire.FlowSnapshot` payloads (``parts``) plus the
+flows' release fence bound and flow-count ownership, re-sends them to the
+new home, and the new home acknowledges once the flows are live again.
+``counted`` keeps ``n_flows`` exact across re-homings: the first shard that
+ever saw a flow keeps counting it, every later home lists it as foreign.
 
 The columnar ``("block", ...)`` transport is the default: a
 :class:`~repro.net.block.PacketBlock` pickles as a handful of NumPy array
@@ -95,20 +111,36 @@ class _WorkerChannel:
         self._out_queue = out_queue
         self.done_sent = False
 
-    def progress(self, items, low_watermark) -> None:
+    def progress(self, items, low_watermark, load: dict | None = None) -> None:
         if self.done_sent:
             raise RuntimeError(
                 f"shard {self.shard_id} attempted to emit progress after done"
             )
-        self._out_queue.put(("progress", self.shard_id, items, low_watermark))
+        self._out_queue.put(("progress", self.shard_id, items, low_watermark, load))
 
-    def estimates_ready(self) -> None:
+    def estimates_ready(self, load: dict | None = None) -> None:
         """Announce one filled return-ring slot (the reverse slot token)."""
         if self.done_sent:
             raise RuntimeError(
                 f"shard {self.shard_id} attempted to emit progress after done"
             )
-        self._out_queue.put(("est", self.shard_id))
+        self._out_queue.put(("est", self.shard_id, load))
+
+    def migrated(self, epoch: int, parts, bound, counted) -> None:
+        """Reply to ``migrate_out``: the drained flow pair, ready to re-home."""
+        if self.done_sent:
+            raise RuntimeError(
+                f"shard {self.shard_id} attempted to emit a migration after done"
+            )
+        self._out_queue.put(("migrated", self.shard_id, epoch, parts, bound, counted))
+
+    def migrate_ack(self, epoch: int) -> None:
+        """Reply to ``migrate_in``: the flow pair is live on this shard."""
+        if self.done_sent:
+            raise RuntimeError(
+                f"shard {self.shard_id} attempted to emit a migration after done"
+            )
+        self._out_queue.put(("migrate_ack", self.shard_id, epoch))
 
     def done(self, items, stats) -> None:
         if self.done_sent:
@@ -148,15 +180,18 @@ class _EstimateReturn:
         self._pending_watermark = -math.inf
         self._shipped_watermark = -math.inf
         self._queue_fallbacks = 0
+        self._last_load: dict | None = None
 
     @property
     def ring_mode(self) -> bool:
         return self._ring is not None
 
-    def emit(self, items, low_watermark) -> None:
+    def emit(self, items, low_watermark, load: dict | None = None) -> None:
         """One tick's output: buffer it, flush, or fall back as appropriate."""
+        if load is not None:
+            self._last_load = load
         if self._ring is None:
-            self._channel.progress(items, low_watermark)
+            self._channel.progress(items, low_watermark, load)
             return
         advanced = low_watermark is not None and low_watermark > max(
             self._shipped_watermark, self._pending_watermark
@@ -174,7 +209,7 @@ class _EstimateReturn:
             # already filled, then let pickle carry it.
             self.flush()
             self._queue_fallbacks += 1
-            self._channel.progress(items, low_watermark)
+            self._channel.progress(items, low_watermark, load)
             return
         for size, batch in batches:
             cost = self._ring.segment_cost(size)
@@ -214,7 +249,7 @@ class _EstimateReturn:
         # output queue, which it does inside every one of its own blocking
         # loops, and an aborting parent terminates the worker outright.
         self._ring.try_push_segments(payloads, timeout=None)
-        self._channel.estimates_ready()
+        self._channel.estimates_ready(self._last_load)
         if self._pending_watermark > self._shipped_watermark:
             self._shipped_watermark = self._pending_watermark
         self._pending = []
@@ -261,6 +296,11 @@ def shard_worker_main(
         n_packets = 0
         n_evicted = 0
         evicted_keys: set = set()
+        # Flow-count ownership ledger (see the module docstring): flows that
+        # left but are still counted here, and flows that live here but are
+        # counted by an earlier home.
+        migrated_out_keys: set = set()
+        foreign_keys: set = set()
 
         def consume(chunk, is_block: bool) -> None:
             """One inference tick: push, sweep idle flows, emit the output."""
@@ -283,7 +323,50 @@ def shard_worker_main(
                     n_evicted += len(sweep_flows)
                     evicted_keys.update(sweep_flows)
                     emitted.extend(evicted)
-            returns.emit(emitted, engine.low_watermark(new_flow_slack_s))
+            returns.emit(emitted, engine.low_watermark(new_flow_slack_s), engine.load_stats())
+
+        def migrate_out(key, epoch: int) -> None:
+            """Drain the canonical pair of ``key`` and ship it to the parent.
+
+            Residual estimates flush first (under this shard's current
+            watermark, which still covers the flow), then both unidirectional
+            streams are snapshotted and removed.  ``counted`` lists every
+            direction whose flow count stays owned elsewhere -- by this shard
+            (it saw the flow first) or by an even earlier home.
+            """
+            returns.flush()
+            parts: list[tuple] = []
+            bounds: list[float] = []
+            counted: list = []
+            pair = (key,) if key.reversed() == key else (key, key.reversed())
+            for ukey in pair:
+                dumped = engine.dump_flow(ukey)
+                if dumped is not None:
+                    payload, bound = dumped
+                    parts.append((ukey, payload))
+                    bounds.append(bound)
+                if ukey in foreign_keys:
+                    counted.append(ukey)
+                elif (
+                    dumped is not None
+                    or ukey in evicted_keys
+                    or ukey in migrated_out_keys
+                ):
+                    migrated_out_keys.add(ukey)
+                    counted.append(ukey)
+            channel.migrated(epoch, parts, min(bounds) if bounds else None, counted)
+
+        def migrate_in(epoch: int, parts, counted) -> None:
+            """Restore a migrated pair and acknowledge once it is live."""
+            # Ship pending pre-restore batches first: their watermarks are
+            # stale the moment the pair is live, and the parent lifts the
+            # migration's fan-in fence on the first watermark it sees after
+            # this ack -- which must therefore be a post-restore one.
+            returns.flush()
+            for ukey, payload in parts:
+                engine.load_flow(ukey, payload)
+            foreign_keys.update(counted)
+            channel.migrate_ack(epoch)
 
         while True:
             message = in_queue.get()
@@ -308,8 +391,13 @@ def shard_worker_main(
                     # recycle the slot for the parent.
                     segments = None
                     ring.release()
+            elif kind == "migrate_out":
+                migrate_out(message[1], message[2])
+            elif kind == "migrate_in":
+                migrate_in(message[2], message[3], message[4])
             else:
                 consume(message[1], kind == "block")
+        final_load = engine.load_stats()
         tail = engine.flush()
         if returns.ring_mode:
             returns.emit(tail, None)
@@ -317,8 +405,11 @@ def shard_worker_main(
             tail = []
         stats = {
             "n_packets": n_packets,
-            "n_flows": len(evicted_keys | set(engine.flows)),
+            "n_flows": len(
+                migrated_out_keys | ((evicted_keys | set(engine.flows)) - foreign_keys)
+            ),
             "n_evicted_flows": n_evicted,
+            "load": final_load,
         }
         if returns.ring_mode:
             stats["transport"] = {"reverse": returns.stats()}

@@ -213,11 +213,11 @@ class _FakeChannel:
         self.messages: list = []
         self.done_sent = False
 
-    def progress(self, items, low_watermark) -> None:
-        self.messages.append(("progress", items, low_watermark))
+    def progress(self, items, low_watermark, load=None) -> None:
+        self.messages.append(("progress", items, low_watermark, load))
 
-    def estimates_ready(self) -> None:
-        self.messages.append(("est",))
+    def estimates_ready(self, load=None) -> None:
+        self.messages.append(("est", load))
 
 
 @pytest.mark.skipif(
@@ -278,7 +278,7 @@ class TestOversizedBatchesSplitAcrossSlots:
             channel = _FakeChannel()
             returns = _EstimateReturn(channel, ring, batch_slots=True)
             returns.emit([monster], 1.0)
-            assert channel.messages == [("progress", [monster], 1.0)]
+            assert channel.messages == [("progress", [monster], 1.0, None)]
             assert returns.stats()["queue_fallbacks"] == 1
         finally:
             consumer.close()

@@ -1,0 +1,397 @@
+"""Flow-snapshot codec fuzz + push-identical migration resume tests.
+
+The migration analogue of ``test_estimate_codec.py``: random
+:class:`~repro.net.flowwire.FlowSnapshot` contents -- NaN / +/-inf / random
+bit-pattern accumulator state, empty and heavily populated sections -- must
+round-trip **bit-identically** through the flat buffer, and truncated or
+corrupt buffers must be rejected loudly.
+
+The second half pins the tentpole property end-to-end: cutting a live
+``_FlowStream`` out of one engine (``dump_flow``) and restoring it into a
+fresh engine (``load_flow``) resumes **push-identically** -- the split run
+emits exactly the estimates of the uncut run, at several cut points
+including mid-open-window and mid-reorder-buffer.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import math
+import random
+import struct
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import QoEPipeline
+from repro.core.streaming import StreamingQoEPipeline
+from repro.net.flows import FlowKey
+from repro.net.flowwire import FlowSnapshot
+
+# Plain ``import conftest`` would collide with the root tests/conftest.py;
+# load the cluster suite's helpers under a private name instead.
+_spec = importlib.util.spec_from_file_location(
+    "_cluster_conftest_snapshot", Path(__file__).resolve().parent / "conftest.py"
+)
+_cluster_conftest = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_cluster_conftest)
+interleave = _cluster_conftest.interleave
+make_trained_pipeline = _cluster_conftest.make_trained_pipeline
+synthetic_flow = _cluster_conftest.synthetic_flow
+
+
+def bits(value: float) -> bytes:
+    return struct.pack("<d", value)
+
+
+_SPECIALS = (math.nan, math.inf, -math.inf, 0.0, -0.0, 5e-324, 1.7976931348623157e308)
+
+
+def random_metric(rng: random.Random) -> float:
+    roll = rng.random()
+    if roll < 0.3:
+        return rng.choice(_SPECIALS)
+    if roll < 0.5:
+        # Random bit patterns: payload-carrying NaNs, denormals, the lot.
+        return struct.unpack("<d", rng.getrandbits(64).to_bytes(8, "little"))[0]
+    return rng.uniform(-1e6, 1e6)
+
+
+def _floats(rng: random.Random, n: int) -> np.ndarray:
+    return np.array([random_metric(rng) for _ in range(n)], dtype="<f8")
+
+
+def _ints(rng: random.Random, n: int, low=0, high=2**40) -> np.ndarray:
+    return np.array([rng.randrange(low, high) for _ in range(n)], dtype="<i8")
+
+
+def random_snapshot(rng: random.Random) -> FlowSnapshot:
+    """A structurally consistent snapshot with adversarial field values."""
+    n_pending = rng.randint(0, 40)
+    n_acc = rng.randint(0, 60)
+    n_iats = rng.randint(0, 60)
+    n_unique = rng.randint(0, 30)
+    n_frames = rng.randint(0, 12)
+    frame_counts = _ints(rng, n_frames, low=0, high=6)
+    n_frame_pkts = int(frame_counts.sum())
+    n_recent = rng.randint(0, 20)
+    flow = (
+        None
+        if rng.random() < 0.2
+        else FlowKey("192.0.2.1", 3478, "10.0.0.9", rng.randint(1024, 65000))
+    )
+    return FlowSnapshot(
+        flow=flow,
+        stats=None if rng.random() < 0.3 else (rng.randint(0, 10**6), rng.randint(0, 10**9), 0.125, 8.25),
+        trained=rng.random() < 0.5,
+        window_s=rng.choice((1.0, 0.5, 2.0)),
+        start=rng.choice((0.0, -4.0, 1e6)),
+        seq=rng.randint(0, 2**40),
+        next_window=rng.randint(-5, 2**30),
+        watermark=rng.choice((None, random_metric(rng))),
+        last_seen=rng.choice((None, random_metric(rng))),
+        pending_ts=_floats(rng, n_pending),
+        pending_seqs=_ints(rng, n_pending),
+        pending_sizes=_ints(rng, n_pending, high=65536),
+        acc_index=rng.choice((-1, rng.randint(0, 1000))),
+        acc_n=rng.randint(0, 10**6),
+        acc_byte_sum=random_metric(rng),
+        acc_size_min=random_metric(rng),
+        acc_size_max=random_metric(rng),
+        acc_microbursts=rng.randint(0, 1000),
+        acc_last_timestamp=rng.choice((None, random_metric(rng))),
+        acc_sizes=_floats(rng, n_acc),
+        acc_iats=_floats(rng, n_iats),
+        acc_unique=_ints(rng, n_unique, high=65536),
+        asm_next_index=rng.randint(0, 2**40),
+        frame_indices=_ints(rng, n_frames),
+        frame_windows=_ints(rng, n_frames, low=-3, high=2**30),
+        frame_open=np.array([rng.randint(0, 1) for _ in range(n_frames)], dtype="<i1"),
+        frame_counts=frame_counts,
+        frame_pkt_ts=_floats(rng, n_frame_pkts),
+        frame_pkt_sizes=_ints(rng, n_frame_pkts, high=65536),
+        recent_ts=_floats(rng, n_recent),
+        recent_sizes=_ints(rng, n_recent, high=65536),
+        recent_frames=_ints(rng, n_recent),
+    )
+
+
+_FLOAT_COLUMNS = ("pending_ts", "acc_sizes", "acc_iats", "frame_pkt_ts", "recent_ts")
+_INT_COLUMNS = (
+    "pending_seqs",
+    "pending_sizes",
+    "acc_unique",
+    "frame_indices",
+    "frame_windows",
+    "frame_open",
+    "frame_counts",
+    "frame_pkt_sizes",
+    "recent_sizes",
+    "recent_frames",
+)
+_FLOAT_SCALARS = ("window_s", "start", "acc_byte_sum", "acc_size_min", "acc_size_max")
+_OPTIONAL_FLOATS = ("watermark", "last_seen", "acc_last_timestamp")
+_INT_SCALARS = ("seq", "next_window", "acc_index", "acc_n", "acc_microbursts", "asm_next_index")
+
+
+def assert_snapshots_bit_identical(got: FlowSnapshot, want: FlowSnapshot) -> None:
+    assert got.flow == want.flow
+    assert got.stats == want.stats
+    assert got.trained == want.trained
+    for name in _FLOAT_SCALARS:
+        assert bits(getattr(got, name)) == bits(getattr(want, name)), name
+    for name in _OPTIONAL_FLOATS:
+        g, w = getattr(got, name), getattr(want, name)
+        assert (g is None) == (w is None), name
+        if w is not None:
+            assert bits(g) == bits(w), name
+    for name in _INT_SCALARS:
+        assert getattr(got, name) == getattr(want, name), name
+    for name in _FLOAT_COLUMNS + _INT_COLUMNS:
+        assert getattr(got, name).tobytes() == getattr(want, name).tobytes(), name
+
+
+class TestFlowSnapshotCodecFuzz:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_round_trip_bit_identical(self, seed):
+        snapshot = random_snapshot(random.Random(seed))
+        payload = snapshot.to_bytes()
+        assert len(payload) == snapshot.byte_size()
+        decoded = FlowSnapshot.read_from(payload)
+        assert_snapshots_bit_identical(decoded, snapshot)
+        # And a second encode of the decode is byte-identical (stable codec).
+        assert decoded.to_bytes() == payload
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_truncated_buffers_raise(self, seed):
+        rng = random.Random(seed)
+        payload = random_snapshot(rng).to_bytes()
+        cuts = {0, 7, 16, len(payload) // 3, len(payload) // 2, len(payload) - 1}
+        cuts.add(rng.randrange(len(payload)))
+        for cut in cuts:
+            with pytest.raises(ValueError, match="flow snapshot"):
+                FlowSnapshot.read_from(payload[:cut])
+
+    def test_corrupt_headers_raise(self):
+        payload = bytearray(random_snapshot(random.Random(1)).to_bytes())
+        bad_magic = bytearray(payload)
+        bad_magic[:4] = b"XXXX"
+        with pytest.raises(ValueError, match="magic"):
+            FlowSnapshot.read_from(bad_magic)
+        bad_version = bytearray(payload)
+        struct.pack_into("<H", bad_version, 4, 2)
+        with pytest.raises(ValueError, match="version"):
+            FlowSnapshot.read_from(bad_version)
+        bad_rows = bytearray(payload)
+        struct.pack_into("<q", bad_rows, 8, -1)
+        with pytest.raises(ValueError, match="negative"):
+            FlowSnapshot.read_from(bad_rows)
+        bad_meta = bytearray(payload)
+        header_end = struct.calcsize("<4sHHqq") + struct.calcsize("<8d6q")
+        bad_meta[header_end : header_end + 2] = b"{{"
+        with pytest.raises(ValueError, match="meta"):
+            FlowSnapshot.read_from(bad_meta)
+
+    def test_mismatched_frame_packet_counts_raise(self):
+        snapshot = random_snapshot(random.Random(2))
+        snapshot.frame_indices = np.array([1], dtype="<i8")
+        snapshot.frame_windows = np.array([0], dtype="<i8")
+        snapshot.frame_open = np.array([0], dtype="<i1")
+        snapshot.frame_counts = np.array([3], dtype="<i8")  # but only 1 packet row
+        snapshot.frame_pkt_ts = np.array([0.5], dtype="<f8")
+        snapshot.frame_pkt_sizes = np.array([100], dtype="<i8")
+        snapshot._meta_cache = None
+        with pytest.raises(ValueError, match="do not sum"):
+            FlowSnapshot.read_from(snapshot.to_bytes())
+
+    def test_write_into_checks_capacity(self):
+        snapshot = random_snapshot(random.Random(3))
+        with pytest.raises(ValueError, match="too small"):
+            snapshot.write_into(bytearray(snapshot.byte_size() - 8))
+
+
+# -- push-identical resume ------------------------------------------------------
+
+
+KEYS = [FlowKey("192.0.2.10", 3478, f"10.0.0.{i}", 50000 + i) for i in (1, 2)]
+
+
+def _two_flow_packets():
+    return interleave(
+        synthetic_flow(1, KEYS[0].dst, KEYS[0].dst_port, duration_s=6.0),
+        synthetic_flow(2, KEYS[1].dst, KEYS[1].dst_port, duration_s=6.0),
+    )
+
+
+def _run_uncut(pipeline, packets, key):
+    engine = StreamingQoEPipeline(pipeline)
+    out = []
+    for packet in packets:
+        out.extend(engine.push(packet))
+    out.extend(engine.flush())
+    return [item for item in out if item.flow == key]
+
+
+def _run_split(pipeline, packets, key, cut):
+    """Dump ``key`` at packet index ``cut`` and resume it on a fresh engine."""
+    origin = StreamingQoEPipeline(pipeline)
+    out = []
+    for packet in packets[:cut]:
+        out.extend(origin.push(packet))
+    dumped = origin.dump_flow(key)
+    assert dumped is not None
+    payload, bound = dumped
+    assert key not in origin.flows
+    destination = StreamingQoEPipeline(pipeline)
+    destination.load_flow(key, payload)
+    for packet in packets[cut:]:
+        target = destination if packet.udp.dst_port == key.dst_port else origin
+        out.extend(target.push(packet))
+    out.extend(origin.flush())
+    out.extend(destination.flush())
+    return [item for item in out if item.flow == key], payload, bound
+
+
+def assert_estimates_bit_identical(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.flow == w.flow
+        for name in ("window_start", "frame_rate", "bitrate_kbps", "frame_jitter_ms"):
+            assert bits(getattr(g.estimate, name)) == bits(getattr(w.estimate, name)), name
+        assert g.estimate.resolution == w.estimate.resolution
+        assert g.estimate.source == w.estimate.source
+
+
+class TestPushIdenticalResume:
+    @pytest.mark.parametrize("fraction", [0.15, 0.4, 0.65, 0.9])
+    def test_heuristic_resume_matches_uncut(self, fraction):
+        pipeline = QoEPipeline.for_vca("teams")
+        packets = _two_flow_packets()
+        expected = _run_uncut(pipeline, packets, KEYS[0])
+        cut = int(len(packets) * fraction)
+        got, payload, bound = _run_split(pipeline, packets, KEYS[0], cut)
+        assert_estimates_bit_identical(got, expected)
+        snapshot = FlowSnapshot.read_from(payload)
+        assert not snapshot.trained
+        # The fence bound really is the earliest window still pending.
+        later = [item.estimate.window_start for item in expected if item.estimate.window_start >= bound]
+        emitted_before = [w for w in (item.estimate.window_start for item in got) if w < bound]
+        assert sorted(emitted_before) == sorted(
+            item.estimate.window_start for item in expected if item.estimate.window_start < bound
+        )
+        assert len(later) + len(emitted_before) == len(expected)
+
+    @pytest.mark.parametrize("fraction", [0.3, 0.7])
+    def test_trained_resume_matches_uncut(self, fraction):
+        pipeline = make_trained_pipeline()
+        packets = _two_flow_packets()
+        expected = _run_uncut(pipeline, packets, KEYS[0])
+        assert all(item.estimate.source == "ml" for item in expected)
+        cut = int(len(packets) * fraction)
+        got, payload, _ = _run_split(pipeline, packets, KEYS[0], cut)
+        assert_estimates_bit_identical(got, expected)
+        assert FlowSnapshot.read_from(payload).trained
+
+    def test_cuts_cover_reorder_buffer_and_open_state(self):
+        """The parametrized cuts genuinely exercise mid-flight state.
+
+        A snapshot taken mid-run must carry reorder-buffer rows and (in
+        heuristic mode) open lookback state -- otherwise the resume tests
+        above would only ever cover the trivial quiescent-stream case.
+        """
+        pipeline = QoEPipeline.for_vca("teams")
+        packets = _two_flow_packets()
+        cut = int(len(packets) * 0.4)
+        engine = StreamingQoEPipeline(pipeline)
+        for packet in packets[:cut]:
+            engine.push(packet)
+        payload, bound = engine.dump_flow(KEYS[0])
+        snapshot = FlowSnapshot.read_from(payload)
+        assert len(snapshot.pending_ts) > 0  # mid-reorder-buffer
+        assert len(snapshot.recent_ts) > 0  # mid-lookback
+        assert snapshot.next_window > 0  # mid-stream, not a fresh flow
+        assert bound == snapshot.start + snapshot.next_window * snapshot.window_s
+
+    def test_trained_cut_carries_accumulator_state(self):
+        pipeline = make_trained_pipeline()
+        packets = _two_flow_packets()
+        engine = StreamingQoEPipeline(pipeline)
+        for packet in packets[: int(len(packets) * 0.4)]:
+            engine.push(packet)
+        payload, _ = engine.dump_flow(KEYS[0])
+        snapshot = FlowSnapshot.read_from(payload)
+        assert snapshot.trained
+        assert snapshot.acc_index >= 0  # an open window's accumulator travelled
+        assert snapshot.acc_n > 0
+
+
+class TestDumpLoadGuards:
+    def test_dump_unknown_flow_returns_none(self):
+        engine = StreamingQoEPipeline(QoEPipeline.for_vca("teams"))
+        assert engine.dump_flow(KEYS[0]) is None
+
+    def test_dump_refuses_mid_tick(self):
+        engine = StreamingQoEPipeline(QoEPipeline.for_vca("teams"))
+        for packet in _two_flow_packets()[:50]:
+            engine.push(packet)
+        engine._streams[KEYS[0]].trigger_pos = 0
+        with pytest.raises(RuntimeError, match="mid-tick"):
+            engine.dump_flow(KEYS[0])
+
+    def test_load_refuses_live_flow(self):
+        engine = StreamingQoEPipeline(QoEPipeline.for_vca("teams"))
+        packets = _two_flow_packets()
+        for packet in packets[:100]:
+            engine.push(packet)
+        payload, _ = engine.dump_flow(KEYS[0])
+        engine.load_flow(KEYS[0], payload)  # fine: no longer live
+        with pytest.raises(RuntimeError, match="already live"):
+            engine.load_flow(KEYS[0], payload)
+
+    def test_load_refuses_mode_mismatch(self):
+        heuristic = StreamingQoEPipeline(QoEPipeline.for_vca("teams"))
+        for packet in _two_flow_packets()[:100]:
+            heuristic.push(packet)
+        payload, _ = heuristic.dump_flow(KEYS[0])
+        trained = StreamingQoEPipeline(make_trained_pipeline())
+        with pytest.raises(ValueError, match="mode mismatch"):
+            trained.load_flow(KEYS[0], payload)
+
+    def test_load_refuses_window_grid_mismatch(self):
+        pipeline = QoEPipeline.for_vca("teams")
+        engine = StreamingQoEPipeline(pipeline)
+        for packet in _two_flow_packets()[:100]:
+            engine.push(packet)
+        payload, _ = engine.dump_flow(KEYS[0])
+        shifted = StreamingQoEPipeline(pipeline, start=123.0)
+        with pytest.raises(ValueError, match="grid mismatch"):
+            shifted.load_flow(KEYS[0], payload)
+
+    def test_flushed_engine_refuses_both(self):
+        engine = StreamingQoEPipeline(QoEPipeline.for_vca("teams"))
+        for packet in _two_flow_packets()[:100]:
+            engine.push(packet)
+        payload, _ = engine.dump_flow(KEYS[0])
+        engine.flush()
+        with pytest.raises(RuntimeError, match="flushed"):
+            engine.dump_flow(KEYS[1])
+        with pytest.raises(RuntimeError, match="flushed"):
+            engine.load_flow(KEYS[0], payload)
+
+    def test_flow_table_stats_travel_with_the_flow(self):
+        engine = StreamingQoEPipeline(QoEPipeline.for_vca("teams"))
+        packets = _two_flow_packets()
+        for packet in packets[:200]:
+            engine.push(packet)
+        before = engine.flow_table.stats(KEYS[0])
+        payload, _ = engine.dump_flow(KEYS[0])
+        destination = StreamingQoEPipeline(QoEPipeline.for_vca("teams"))
+        destination.load_flow(KEYS[0], payload)
+        after = destination.flow_table.stats(KEYS[0])
+        assert (after.packets, after.bytes, after.first_seen, after.last_seen) == (
+            before.packets,
+            before.bytes,
+            before.first_seen,
+            before.last_seen,
+        )

@@ -1,0 +1,305 @@
+"""Elastic sharding end-to-end: live migrations must not change the output.
+
+The headline acceptance criterion of the rebalancing subsystem: a run with
+live flow migrations -- forced (``ScheduledRebalancer``) or policy-driven
+(``GreedyRebalancer``) -- emits estimates **bit-identical to and in the same
+fan-in order as** the static-map ``ShardedQoEMonitor`` and the
+single-process ``QoEMonitor``, for 2 and 4 workers, heuristic and trained,
+over both transports.  Plus unit tests for the policy layer and the
+mid-run telemetry / migration bookkeeping satellites.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    CollectorSink,
+    IteratorSource,
+    QoEMonitor,
+    QoEPipeline,
+    ShardedQoEMonitor,
+)
+from repro.cluster import (
+    GreedyRebalancer,
+    Migration,
+    RebalancePolicy,
+    ScheduledRebalancer,
+    ShardLoad,
+    shm_available,
+)
+from repro.cluster.fanin import flow_sort_key
+from repro.cluster.router import FlowShardRouter
+from repro.net.flows import FlowKey
+
+#: The flows of the conftest ``many_flow_packets`` fixture; ``CANON`` is the
+#: canonical (bidirectional) form the migration log records.
+KEYS = [FlowKey("192.0.2.10", 3478, f"10.0.0.{i + 1}", 50000 + i) for i in range(4)]
+CANON = [key.bidirectional()[0] for key in KEYS]
+
+#: A second flow set whose static 2-shard map is a 3-vs-1 split (shards
+#: [0, 0, 1, 0]) -- a genuine hot spot for the live greedy policy, which the
+#: evenly split ``KEYS`` ([0, 0, 1, 1]) never produce.
+SKEWED_KEYS = [FlowKey("192.0.2.10", 3478, f"10.0.0.{i}", 50000 + i) for i in range(1, 5)]
+
+_spec = importlib.util.spec_from_file_location(
+    "_cluster_conftest_rebalance", Path(__file__).resolve().parent / "conftest.py"
+)
+_cluster_conftest = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_cluster_conftest)
+
+
+@pytest.fixture(scope="module")
+def skewed_packets():
+    return _cluster_conftest.interleave(
+        *(
+            _cluster_conftest.synthetic_flow(i, key.dst, key.dst_port)
+            for i, key in enumerate(SKEWED_KEYS, start=1)
+        )
+    )
+
+TRANSPORTS = [
+    "block",
+    pytest.param(
+        "shm",
+        marks=pytest.mark.skipif(
+            not shm_available(),
+            reason="multiprocessing.shared_memory unavailable on this platform",
+        ),
+    ),
+]
+
+
+def fan_in_order(items):
+    return sorted(items, key=lambda item: (item.estimate.window_start, flow_sort_key(item.flow)))
+
+
+def as_rows(items):
+    return [(item.flow, item.estimate) for item in items]
+
+
+def forced_schedule(n_workers):
+    """Two real cuts (one away, one back home) plus one deliberate no-op."""
+    router = FlowShardRouter(n_workers)
+    home = router.shard_of_key(KEYS[0])
+    away = (home + 1) % n_workers
+    return [(1.5, KEYS[0], away), (3.0, KEYS[2], router.shard_of_key(KEYS[2])), (5.0, KEYS[0], home)]
+
+
+def run_sharded(pipeline, packets, n_workers, **kwargs):
+    sink = CollectorSink()
+    monitor = ShardedQoEMonitor(
+        pipeline, IteratorSource(iter(packets)), sinks=sink, n_workers=n_workers, **kwargs
+    )
+    report = monitor.run()
+    return sink, report, monitor
+
+
+@pytest.fixture(scope="module")
+def heuristic_pipeline():
+    return QoEPipeline.for_vca("teams")
+
+
+@pytest.fixture(scope="module")
+def single_expected(many_flow_packets):
+    """Single-process reference output per mode, in fan-in contract order."""
+    cache: dict[int, list] = {}
+
+    def reference(pipeline):
+        key = id(pipeline)
+        if key not in cache:
+            sink = CollectorSink()
+            QoEMonitor(pipeline, IteratorSource(iter(many_flow_packets)), sinks=sink).run()
+            cache[key] = as_rows(fan_in_order(sink.items))
+        return cache[key]
+
+    return reference
+
+
+class TestForcedMigrationDeterminism:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_heuristic_identical_to_static_and_single(
+        self, many_flow_packets, single_expected, heuristic_pipeline, n_workers, transport
+    ):
+        pipeline = heuristic_pipeline
+        expected = single_expected(pipeline)
+        static, _, _ = run_sharded(pipeline, many_flow_packets, n_workers, transport=transport)
+        moved, report, monitor = run_sharded(
+            pipeline,
+            many_flow_packets,
+            n_workers,
+            transport=transport,
+            rebalance=ScheduledRebalancer(forced_schedule(n_workers)),
+        )
+        # Bit-identical and in the same fan-in order, migrations and all.
+        assert as_rows(moved.items) == as_rows(static.items) == expected
+        assert report.n_flows == 4
+        assert report.n_packets == len(many_flow_packets)
+        # Two genuine cuts happened; the scheduled no-op was skipped.
+        home = FlowShardRouter(n_workers).shard_of_key(KEYS[0])
+        away = (home + 1) % n_workers
+        assert [m["flow"] for m in monitor.migrations] == [CANON[0], CANON[0]]
+        assert [m["epoch"] for m in monitor.migrations] == [1, 2]
+        assert monitor.migrations[0]["src"] == home
+        assert monitor.migrations[0]["dst"] == away
+        assert monitor.migrations[1] == {
+            "epoch": 2,
+            "flow": CANON[0],
+            "src": away,
+            "dst": home,
+            "latency_s": monitor.migrations[1]["latency_s"],
+        }
+        assert all(m["latency_s"] > 0.0 for m in monitor.migrations)
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_trained_identical_to_static_and_single(
+        self, many_flow_packets, single_expected, trained_pipeline, n_workers, transport
+    ):
+        expected = single_expected(trained_pipeline)
+        assert all(estimate.source == "ml" for _, estimate in expected)
+        static, _, _ = run_sharded(trained_pipeline, many_flow_packets, n_workers, transport=transport)
+        moved, _, monitor = run_sharded(
+            trained_pipeline,
+            many_flow_packets,
+            n_workers,
+            transport=transport,
+            rebalance=ScheduledRebalancer(forced_schedule(n_workers)),
+        )
+        assert as_rows(moved.items) == as_rows(static.items) == expected
+        assert len(monitor.migrations) == 2
+
+    def test_flow_count_survives_migration_chains(self, many_flow_packets):
+        """The ownership ledger: each flow counted once, wherever it ends up.
+
+        KEYS[0] leaves shard 0, comes home, and leaves again -- intermediate
+        homes must not claim it, and the final count must still be 4.
+        """
+        schedule = [(1.0, KEYS[0], 1), (2.5, KEYS[0], 0), (4.0, KEYS[0], 1)]
+        _, report, monitor = run_sharded(
+            QoEPipeline.for_vca("teams"),
+            many_flow_packets,
+            2,
+            rebalance=ScheduledRebalancer(schedule),
+        )
+        assert len(monitor.migrations) == 3
+        assert report.n_flows == 4
+        assert sum(stats["n_flows"] for stats in monitor.shard_stats) == 4
+
+
+class TestLivePolicyDeterminism:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_greedy_rebalancing_identical_to_static(
+        self, skewed_packets, heuristic_pipeline, transport
+    ):
+        pipeline = heuristic_pipeline
+        single = CollectorSink()
+        QoEMonitor(pipeline, IteratorSource(iter(skewed_packets)), sinks=single).run()
+        expected = as_rows(fan_in_order(single.items))
+        static, _, _ = run_sharded(pipeline, skewed_packets, 2, transport=transport)
+        policy = GreedyRebalancer(interval_s=1.0, max_migrations=1, min_imbalance=1.1)
+        moved, report, monitor = run_sharded(
+            pipeline, skewed_packets, 2, transport=transport, rebalance=policy
+        )
+        # The 3-vs-1 static split really is imbalanced enough to trigger.
+        assert len(monitor.migrations) >= 1
+        assert as_rows(moved.items) == as_rows(static.items) == expected
+        assert report.transport["rebalance"] == {"migrations": len(monitor.migrations)}
+
+    def test_none_policy_preserves_static_map(self, many_flow_packets):
+        _, report, monitor = run_sharded(QoEPipeline.for_vca("teams"), many_flow_packets, 2)
+        assert monitor.rebalance is None
+        assert monitor.migrations == []
+        assert "rebalance" not in report.transport
+        assert monitor.router._overrides == {}
+
+
+class TestShardTelemetry:
+    def test_shard_loads_populated_without_rebalancing(self, many_flow_packets):
+        """Load telemetry rides every progress/est message unconditionally."""
+        _, _, monitor = run_sharded(QoEPipeline.for_vca("teams"), many_flow_packets, 2)
+        assert len(monitor.shard_loads) == 2
+        for load in monitor.shard_loads:
+            assert set(load) == {"live_flows", "buffered_packets", "open_windows"}
+        # The final reading (taken before the flush) still sees live state.
+        assert sum(load["live_flows"] for load in monitor.shard_loads) == 4
+
+    def test_done_stats_carry_final_load(self, many_flow_packets):
+        _, _, monitor = run_sharded(QoEPipeline.for_vca("teams"), many_flow_packets, 2)
+        for stats in monitor.shard_stats:
+            assert set(stats["load"]) == {"live_flows", "buffered_packets", "open_windows"}
+
+    def test_idle_shard_reports_load_at_done(self, many_flow_packets):
+        # With the pinned 4-shard map ([2, 0, 1, 1]), shard 3 receives no
+        # flows at all -- its only load report is the one in its done stats.
+        _, _, monitor = run_sharded(QoEPipeline.for_vca("teams"), many_flow_packets, 4)
+        assert all(load is not None for load in monitor.shard_loads)
+        assert monitor.shard_loads[3] == {
+            "live_flows": 0,
+            "buffered_packets": 0,
+            "open_windows": 0,
+        }
+
+
+class TestPolicyUnits:
+    def loads(self, packets_per_shard, flows_per_shard=None):
+        result = []
+        for shard_id, n in enumerate(packets_per_shard):
+            flow_packets = {}
+            if flows_per_shard is not None:
+                flow_packets = flows_per_shard[shard_id]
+            result.append(
+                ShardLoad(shard_id=shard_id, interval_packets=n, flow_packets=flow_packets)
+            )
+        return result
+
+    def test_base_policy_validates_knobs(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            RebalancePolicy(interval_s=0.0)
+        with pytest.raises(ValueError, match="max_migrations"):
+            RebalancePolicy(max_migrations=0)
+        with pytest.raises(ValueError, match="min_imbalance"):
+            GreedyRebalancer(min_imbalance=0.5)
+        with pytest.raises(NotImplementedError):
+            RebalancePolicy().plan(0.0, [])
+
+    def test_greedy_skips_balanced_shards(self):
+        policy = GreedyRebalancer(min_imbalance=1.5)
+        assert policy.plan(0.0, self.loads([100, 90])) == []
+        assert policy.plan(0.0, self.loads([100])) == []
+
+    def test_greedy_never_empties_the_source_shard(self):
+        policy = GreedyRebalancer(max_migrations=8, min_imbalance=1.1)
+        flows = [{KEYS[0]: 500, KEYS[1]: 400}, {}]
+        plan = policy.plan(0.0, self.loads([900, 10], flows))
+        # Two candidate flows, budget caps at one: the hotter flow moves.
+        assert plan == [Migration(flow=KEYS[0], dst=1)]
+
+    def test_greedy_skips_single_flow_hotspots(self):
+        policy = GreedyRebalancer(min_imbalance=1.1)
+        assert policy.plan(0.0, self.loads([900, 10], [{KEYS[0]: 900}, {}])) == []
+
+    def test_greedy_moves_hottest_flows_first_with_deterministic_ties(self):
+        policy = GreedyRebalancer(max_migrations=2, min_imbalance=1.1)
+        flows = [{KEYS[2]: 300, KEYS[1]: 300, KEYS[0]: 200}, {}]
+        plan = policy.plan(0.0, self.loads([800, 10], flows))
+        # Equal heat resolves by flow sort order, so plans are reproducible.
+        assert plan == [Migration(flow=KEYS[1], dst=1), Migration(flow=KEYS[2], dst=1)]
+
+    def test_scheduled_fires_in_order_and_once(self):
+        policy = ScheduledRebalancer([(2.0, KEYS[1], 1), (1.0, KEYS[0], 1)])
+        assert policy.plan(0.5, []) == []
+        assert policy.plan(1.2, []) == [Migration(flow=KEYS[0], dst=1)]
+        assert policy.plan(5.0, []) == [Migration(flow=KEYS[1], dst=1)]
+        assert policy.plan(9.0, []) == []
+
+    def test_scheduled_catches_up_multiple_due_entries(self):
+        policy = ScheduledRebalancer([(1.0, KEYS[0], 1), (2.0, KEYS[1], 0)])
+        assert policy.plan(10.0, []) == [
+            Migration(flow=KEYS[0], dst=1),
+            Migration(flow=KEYS[1], dst=0),
+        ]

@@ -579,14 +579,31 @@ class TestWorkerChannelProtocol:
         channel = _WorkerChannel(3, out)
         channel.progress([], 1.0)
         channel.estimates_ready()
+        channel.migrated(1, [], None, [])
+        channel.migrate_ack(1)
         channel.done([], {})
         with pytest.raises(RuntimeError, match="progress after done"):
             channel.progress([], 2.0)
         with pytest.raises(RuntimeError, match="progress after done"):
             channel.estimates_ready()
+        with pytest.raises(RuntimeError, match="migration after done"):
+            channel.migrated(2, [], None, [])
+        with pytest.raises(RuntimeError, match="migration after done"):
+            channel.migrate_ack(2)
         with pytest.raises(RuntimeError, match="done twice"):
             channel.done([], {})
         kinds = []
         while not out.empty():
             kinds.append(out.get_nowait()[0])
-        assert kinds == ["progress", "est", "done"]
+        assert kinds == ["progress", "est", "migrated", "migrate_ack", "done"]
+
+    def test_progress_and_est_carry_optional_load(self):
+        out: queue.Queue = queue.Queue()
+        channel = _WorkerChannel(0, out)
+        load = {"live_flows": 2, "buffered_packets": 7, "open_windows": 3}
+        channel.progress([], 1.0, load)
+        channel.estimates_ready(load)
+        channel.progress([], 2.0)
+        assert out.get_nowait() == ("progress", 0, [], 1.0, load)
+        assert out.get_nowait() == ("est", 0, load)
+        assert out.get_nowait() == ("progress", 0, [], 2.0, None)
