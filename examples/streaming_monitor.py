@@ -123,7 +123,10 @@ def main() -> None:
 
 
 def monitor_snapshot_line(metrics: MetricsSnapshotSink) -> str:
-    return "  ".join(f"{name}={value:g}" for name, value in metrics.snapshot().items())
+    # metrics.render_prometheus() emits the same series as exposition text;
+    # the dict form is handy for one-line summaries like this.
+    counters = metrics.metrics()["counters"]
+    return "  ".join(f"{name}={value:g}" for name, value in counters.items())
 
 
 if __name__ == "__main__":

@@ -41,6 +41,13 @@ from repro.core.streaming import StreamEstimate, StreamingQoEPipeline
 from repro.core.estimators import IPUDPMLEstimator, RTPMLEstimator
 from repro.monitor import MonitorReport, QoEMonitor
 from repro.cluster import FanInSink, FlowShardRouter, ShardedQoEMonitor
+from repro.obs import (
+    MetricsLogSink,
+    MetricsRegistry,
+    ObsConfig,
+    parse_prometheus,
+    render_prometheus,
+)
 from repro.sources import (
     IteratorSource,
     MergedSource,
@@ -84,6 +91,11 @@ __all__ = [
     "ShardedQoEMonitor",
     "FlowShardRouter",
     "FanInSink",
+    "ObsConfig",
+    "MetricsRegistry",
+    "MetricsLogSink",
+    "render_prometheus",
+    "parse_prometheus",
     "PacketSource",
     "IteratorSource",
     "TraceSource",

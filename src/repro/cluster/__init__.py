@@ -32,6 +32,7 @@ from repro.cluster.rebalance import (
     RebalancePolicy,
     ScheduledRebalancer,
     ShardLoad,
+    summarize_migrations,
 )
 from repro.cluster.router import FlowShardRouter
 from repro.cluster.shm import BlockRing, shm_available
@@ -50,4 +51,5 @@ __all__ = [
     "ScheduledRebalancer",
     "Migration",
     "ShardLoad",
+    "summarize_migrations",
 ]

@@ -31,6 +31,7 @@ and ordered at :meth:`~FanInSink.close`, which costs O(run) memory like a
 from __future__ import annotations
 
 import math
+from time import perf_counter
 
 from repro.core.streaming import StreamEstimate
 from repro.net.flows import FlowKey
@@ -66,13 +67,16 @@ class FanInSink(EstimateSink):
     monitor's output order bit-compatible with a sharded one's.
     """
 
-    def __init__(self, sinks=(), n_shards: int = 1) -> None:
+    def __init__(self, sinks=(), n_shards: int = 1, obs=None) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
         if hasattr(sinks, "emit"):  # a single sink was passed
             sinks = (sinks,)
         self.sinks = tuple(sinks)
         self.n_shards = n_shards
+        #: Optional :class:`~repro.obs.registry.MetricsRegistry` for release
+        #: spans and counters; releases are identical with or without it.
+        self.obs = obs
         self._buffers: list[list[StreamEstimate]] = [[] for _ in range(n_shards)]
         self._watermarks: list[float] = [-math.inf] * n_shards
         self._finished: list[bool] = [False] * n_shards
@@ -208,6 +212,8 @@ class FanInSink(EstimateSink):
         decoded tick batch.  A watermark-violating source (items *below* the
         threshold) still releases immediately, exactly as before.
         """
+        obs = self.obs
+        started = perf_counter() if obs is not None else 0.0
         threshold = min(self._watermarks)
         if self._fences:
             fence = min(self._fences.values())
@@ -230,7 +236,17 @@ class FanInSink(EstimateSink):
         if not ready:
             return
         ready.sort(key=_estimate_sort_key)
-        for item in ready:
-            for sink in self.sinks:
-                sink.emit(item)
+        if obs is None:
+            for item in ready:
+                for sink in self.sinks:
+                    sink.emit(item)
+        else:
+            emit_started = perf_counter()
+            for item in ready:
+                for sink in self.sinks:
+                    sink.emit(item)
+            obs.time_stage("sink_emit", emit_started)
         self.records_released += len(ready)
+        if obs is not None:
+            obs.time_stage("fanin_release", started)
+            obs.inc("qoe_fanin_released_total", len(ready))

@@ -41,11 +41,13 @@ import numpy as np
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import QoEPipeline
 from repro.cluster.fanin import FanInSink
-from repro.cluster.rebalance import RebalancePolicy, ShardLoad
+from repro.cluster.rebalance import RebalancePolicy, ShardLoad, summarize_migrations
 from repro.cluster.router import FlowShardRouter
 from repro.cluster.shm import DEFAULT_SLOT_BYTES, BlockRing, shm_available
 from repro.cluster.worker import ShardWorker
 from repro.monitor import MonitorReport
+from repro.obs.config import ObsConfig
+from repro.obs.registry import MetricsRegistry, ingest_transport_stats
 from repro.net.estwire import EstimateBatch
 from repro.net.flows import five_tuple
 from repro.sources.base import PacketSource, as_source, iter_blocks
@@ -305,6 +307,18 @@ class ShardedQoEMonitor:
         the same order as) a run that never migrated.  ``None`` (default)
         preserves the static CRC-32 map with zero overhead beyond one falsy
         branch per routed flow lookup.
+    obs:
+        An :class:`~repro.obs.config.ObsConfig` enabling the unified
+        telemetry plane (PR 8): the parent owns a fleet
+        :class:`~repro.obs.registry.MetricsRegistry`, every worker records
+        into its own and ships deltas on the messages it already sends
+        (``progress``/``est``/``done`` -- no extra queue traffic), and
+        :meth:`metrics` / ``MonitorReport.metrics`` expose the merged view
+        (:func:`~repro.obs.render.render_prometheus` turns it into a
+        scrape).  ``None`` or ``ObsConfig(enabled=False)`` (default) keeps
+        the whole plane at one falsy branch per hot-path call; estimates
+        are bit-identical either way (pinned by
+        ``tests/cluster/test_obs_plane.py``).
     """
 
     def __init__(
@@ -323,6 +337,7 @@ class ShardedQoEMonitor:
         shm_return: str = "ring",
         shm_batch_slots: bool = True,
         rebalance: RebalancePolicy | None = None,
+        obs: ObsConfig | None = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
@@ -361,6 +376,12 @@ class ShardedQoEMonitor:
         self.shm_return = shm_return
         self.shm_batch_slots = shm_batch_slots
         self.rebalance = rebalance
+        self.obs = obs
+        #: The fleet registry (``None`` when observability is off): the
+        #: parent's own spans plus every worker delta, merged.
+        self.registry: MetricsRegistry | None = (
+            MetricsRegistry(obs) if obs is not None and obs.enabled else None
+        )
         #: Per-shard ``{"n_packets", "n_flows", "n_evicted_flows", "load"}``
         #: of the completed run (index = shard id); on the ``"shm"``
         #: transport a ``"transport"`` entry adds per-direction ring
@@ -443,10 +464,11 @@ class ShardedQoEMonitor:
                     ring=forward_rings[shard_id] if forward_rings else None,
                     return_ring=return_rings[shard_id] if return_rings else None,
                     batch_slots=self.shm_batch_slots,
+                    obs_dict=self.obs.to_dict() if self.registry is not None else None,
                 )
                 for shard_id in range(self.n_workers)
             ]
-            fan_in = FanInSink(self.sinks, n_shards=self.n_workers)
+            fan_in = FanInSink(self.sinks, n_shards=self.n_workers, obs=self.registry)
         except BaseException:
             # The main try/finally below is not reached: reclaim the
             # segments here or a failed construction (fd exhaustion, a bad
@@ -473,10 +495,18 @@ class ShardedQoEMonitor:
         driver = (
             _RebalanceDriver(self, self.rebalance) if self.rebalance is not None else None
         )
+        registry = self.registry
+        if registry is not None:
+            for sink in self.sinks:
+                bind = getattr(sink, "bind_registry", None)
+                if bind is not None:
+                    bind(registry)
         n_packets = 0
+        stream_started = drain_started = started
         try:
             for worker in workers:
                 worker.start()
+            stream_started = perf_counter()
             if self.transport in ("block", "shm"):
                 # Columnar path: the source yields struct-of-arrays blocks
                 # (native fast paths for traces and pcap files), the router
@@ -494,12 +524,26 @@ class ShardedQoEMonitor:
                     send_block = lambda worker, sub: batchers[worker.shard_id].add(sub)
                 else:
                     send_block = lambda worker, sub: self._send(worker, ("block", sub))
-                for block in iter_blocks(self.source, self.chunk_size):
+                blocks = iter_blocks(self.source, self.chunk_size)
+                if registry is not None:
+                    blocks = registry.timed_iter(blocks, "source_read")
+                for block in blocks:
                     n_packets += len(block)
                     if driver is not None:
                         driver.observe_block(block)
-                    for shard_id, sub_block in self.router.partition_block(block):
-                        send_block(workers[shard_id], sub_block)
+                    if registry is not None:
+                        span = perf_counter()
+                        parts = self.router.partition_block(block)
+                        registry.time_stage("router_partition", span)
+                        span = perf_counter()
+                        for shard_id, sub_block in parts:
+                            send_block(workers[shard_id], sub_block)
+                        registry.time_stage("forward_push", span)
+                        registry.inc("qoe_router_blocks_total")
+                        registry.inc("qoe_router_packets_total", len(block))
+                    else:
+                        for shard_id, sub_block in self.router.partition_block(block):
+                            send_block(workers[shard_id], sub_block)
                     # Drain whatever the workers produced so far: estimates
                     # reach the sinks while the run is in flight (live
                     # scrapes work) and parent memory stays O(in-flight),
@@ -531,6 +575,7 @@ class ShardedQoEMonitor:
                 for shard_id, buffer in enumerate(buffers):
                     if buffer:
                         self._send(workers[shard_id], ("chunk", buffer))
+            drain_started = perf_counter()
             for worker in workers:
                 self._send(worker, ("stop",))
             self._drain_until_done()
@@ -557,18 +602,62 @@ class ShardedQoEMonitor:
         self.shard_stats = [stats if stats is not None else {} for stats in self._stats]
         if self._batchers is not None:
             for stats, batcher in zip(self.shard_stats, self._batchers):
-                stats.setdefault("transport", {})["forward"] = batcher.stats()
+                forward = batcher.stats()
+                stats.setdefault("transport", {})["forward"] = forward
+                if registry is not None:
+                    # The parent produced into the forward rings, so it owns
+                    # these counters; the reverse direction arrived with each
+                    # shard's done delta.  Together the registry mirrors
+                    # MonitorReport.transport exactly.
+                    ingest_transport_stats(
+                        registry, forward, "forward", batcher._worker.shard_id
+                    )
         transport = self._aggregate_transport()
         if self.rebalance is not None:
             transport["rebalance"] = {"migrations": len(self.migrations)}
+        finished = perf_counter()
+        timing = {
+            "wall_time_s": finished - started,
+            "setup_s": stream_started - started,
+            "stream_s": drain_started - stream_started,
+            "drain_s": finished - drain_started,
+        }
         return MonitorReport(
             n_packets=n_packets,
             n_estimates=fan_in.records_released,
             n_flows=sum(stats.get("n_flows", 0) for stats in self.shard_stats),
             n_evicted_flows=sum(stats.get("n_evicted_flows", 0) for stats in self.shard_stats),
-            wall_time_s=perf_counter() - started,
+            wall_time_s=finished - started,
             transport=transport,
+            timing=timing,
+            metrics=self.metrics(),
+            shard_loads=tuple(load if load is not None else {} for load in self.shard_loads),
+            migration=summarize_migrations(self.migrations),
         )
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """The fleet metrics snapshot (``{}`` when observability is off).
+
+        Callable mid-run (the health surface a scraper reads, via
+        :func:`~repro.obs.render.render_prometheus`) or after :meth:`run`,
+        when the same snapshot also rides ``MonitorReport.metrics``.
+        Per-shard load gauges are synced from the latest worker telemetry at
+        snapshot time.
+        """
+        if self.registry is None:
+            return {}
+        for shard_id, load in enumerate(self.shard_loads):
+            if not load:
+                continue
+            for key in ("live_flows", "buffered_packets", "open_windows"):
+                value = load.get(key)
+                if value is not None:
+                    self.registry.set_gauge(
+                        f"qoe_shard_{key}", value, (("shard", str(shard_id)),)
+                    )
+        return self.registry.snapshot()
 
     # -- live migration --------------------------------------------------------
 
@@ -604,15 +693,19 @@ class ShardedQoEMonitor:
             self._live_fences.add(epoch)
         self._send(self._workers[dst], ("migrate_in", canonical, epoch, parts, counted))
         self.router.set_override(canonical, dst)
+        latency_s = perf_counter() - started
         self.migrations.append(
             {
                 "epoch": epoch,
                 "flow": canonical,
                 "src": src,
                 "dst": dst,
-                "latency_s": perf_counter() - started,
+                "latency_s": latency_s,
             }
         )
+        if self.registry is not None:
+            self.registry.inc("qoe_migrations_total")
+            self.registry.observe_stage("migration_cut", latency_s)
 
     def _await_migration(self, src: int, epoch: int) -> tuple:
         """Pump worker output until shard ``src``'s ``migrated`` reply lands.
@@ -735,12 +828,27 @@ class ShardedQoEMonitor:
                 continue
             self._handle(message)
 
+    def _absorb_load(self, shard_id: int, load: dict | None) -> None:
+        """Record one shard's load telemetry, merging any piggybacked delta.
+
+        The ``metrics`` entry is the worker registry's delta since its last
+        shipped message (see ``_WorkerChannel._with_delta``); it is popped
+        before the load dict is stored so ``shard_loads`` stays the plain
+        rebalancer telemetry it always was.
+        """
+        if load is None:
+            return
+        delta = load.pop("metrics", None)
+        if delta is not None and self.registry is not None:
+            self.registry.merge(delta)
+        if load:
+            self.shard_loads[shard_id] = load
+
     def _handle(self, message) -> None:
         kind = message[0]
         if kind == "progress":
             _, shard_id, items, low_watermark, load = message
-            if load is not None:
-                self.shard_loads[shard_id] = load
+            self._absorb_load(shard_id, load)
             self._fan_in.accept(shard_id, items, low_watermark)
             self._lift_fences(shard_id, low_watermark)
         elif kind == "est":
@@ -750,8 +858,7 @@ class ShardedQoEMonitor:
             # worker fills the slot before enqueueing the token, and both
             # sides walk slots in token order.
             _, shard_id, load = message
-            if load is not None:
-                self.shard_loads[shard_id] = load
+            self._absorb_load(shard_id, load)
             ring = self._return_rings[shard_id]
             segments = ring.pop_segments(timeout=5.0)
             if segments is None:  # pragma: no cover - token/slot pairing guard
@@ -775,6 +882,9 @@ class ShardedQoEMonitor:
                     pass
         elif kind == "done":
             _, shard_id, items, stats = message
+            delta = stats.pop("metrics", None)
+            if delta is not None and self.registry is not None:
+                self.registry.merge(delta)
             if stats.get("load") is not None:
                 self.shard_loads[shard_id] = stats["load"]
             self._fan_in.accept(shard_id, items)

@@ -27,7 +27,29 @@ __all__ = [
     "RebalancePolicy",
     "GreedyRebalancer",
     "ScheduledRebalancer",
+    "summarize_migrations",
 ]
+
+
+def summarize_migrations(migrations: list[dict]) -> dict:
+    """Cut-latency summary of a run's executed migrations.
+
+    Input is ``ShardedQoEMonitor.migrations`` (one ``{"epoch", "flow",
+    "src", "dst", "latency_s"}`` dict per re-homing, in execution order);
+    returns ``{}`` when none ran, otherwise the count plus
+    total/mean/max stop-and-copy latency in seconds -- the
+    ``MonitorReport.migration`` surface.
+    """
+    if not migrations:
+        return {}
+    latencies = [migration["latency_s"] for migration in migrations]
+    total = sum(latencies)
+    return {
+        "count": len(latencies),
+        "total_latency_s": total,
+        "mean_latency_s": total / len(latencies),
+        "max_latency_s": max(latencies),
+    }
 
 
 @dataclass(frozen=True)

@@ -80,6 +80,7 @@ from __future__ import annotations
 import json
 import math
 import traceback
+from time import perf_counter
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import QoEPipeline
@@ -87,6 +88,8 @@ from repro.core.streaming import StreamingQoEPipeline
 from repro.monitor import IdleEvictionSchedule
 from repro.net.block import PacketBlock
 from repro.net.estwire import EstimateBatch
+from repro.obs.config import ObsConfig
+from repro.obs.registry import MetricsRegistry, ingest_transport_stats
 
 __all__ = ["ShardWorker", "shard_worker_main"]
 
@@ -110,13 +113,30 @@ class _WorkerChannel:
         self.shard_id = shard_id
         self._out_queue = out_queue
         self.done_sent = False
+        #: The worker's :class:`~repro.obs.registry.MetricsRegistry` (set by
+        #: ``shard_worker_main`` when observability is on).  Deltas are taken
+        #: *here*, at the single outbound choke point, so a delta is computed
+        #: exactly when -- and only when -- a message actually ships.
+        self.obs: MetricsRegistry | None = None
+
+    def _with_delta(self, load: dict | None) -> dict | None:
+        if self.obs is None:
+            return load
+        delta = self.obs.delta()
+        if delta is None:
+            return load
+        load = dict(load) if load is not None else {}
+        load["metrics"] = delta
+        return load
 
     def progress(self, items, low_watermark, load: dict | None = None) -> None:
         if self.done_sent:
             raise RuntimeError(
                 f"shard {self.shard_id} attempted to emit progress after done"
             )
-        self._out_queue.put(("progress", self.shard_id, items, low_watermark, load))
+        self._out_queue.put(
+            ("progress", self.shard_id, items, low_watermark, self._with_delta(load))
+        )
 
     def estimates_ready(self, load: dict | None = None) -> None:
         """Announce one filled return-ring slot (the reverse slot token)."""
@@ -124,7 +144,7 @@ class _WorkerChannel:
             raise RuntimeError(
                 f"shard {self.shard_id} attempted to emit progress after done"
             )
-        self._out_queue.put(("est", self.shard_id, load))
+        self._out_queue.put(("est", self.shard_id, self._with_delta(load)))
 
     def migrated(self, epoch: int, parts, bound, counted) -> None:
         """Reply to ``migrate_out``: the drained flow pair, ready to re-home."""
@@ -146,6 +166,11 @@ class _WorkerChannel:
         if self.done_sent:
             raise RuntimeError(f"shard {self.shard_id} reported done twice")
         self.done_sent = True
+        if self.obs is not None:
+            delta = self.obs.delta()
+            if delta is not None:
+                stats = dict(stats)
+                stats["metrics"] = delta
         self._out_queue.put(("done", self.shard_id, items, stats))
 
     def error(self, trace: str) -> None:
@@ -171,10 +196,17 @@ class _EstimateReturn:
     in :meth:`stats` -- so output never depends on the transport.
     """
 
-    def __init__(self, channel: _WorkerChannel, ring, batch_slots: bool = True) -> None:
+    def __init__(
+        self,
+        channel: _WorkerChannel,
+        ring,
+        batch_slots: bool = True,
+        obs: MetricsRegistry | None = None,
+    ) -> None:
         self._channel = channel
         self._ring = ring
         self._batch_slots = batch_slots
+        self._obs = obs
         self._pending: list[tuple[int, EstimateBatch]] = []
         self._pending_cost = 0
         self._pending_watermark = -math.inf
@@ -245,10 +277,13 @@ class _EstimateReturn:
         if not self._pending:
             return
         payloads = [(size, batch.write_into) for size, batch in self._pending]
+        started = perf_counter() if self._obs is not None else 0.0
         # Blocking push: the parent frees return slots whenever it pumps its
         # output queue, which it does inside every one of its own blocking
         # loops, and an aborting parent terminates the worker outright.
         self._ring.try_push_segments(payloads, timeout=None)
+        if self._obs is not None:
+            self._obs.time_stage("ring_return", started)
         self._channel.estimates_ready(self._last_load)
         if self._pending_watermark > self._shipped_watermark:
             self._shipped_watermark = self._pending_watermark
@@ -272,6 +307,7 @@ def shard_worker_main(
     ring_handle=None,
     return_handle=None,
     batch_slots: bool = True,
+    obs_dict: dict | None = None,
 ) -> None:
     """Worker process entry point (module-level, hence spawn-picklable)."""
     channel = _WorkerChannel(shard_id, out_queue)
@@ -282,14 +318,19 @@ def shard_worker_main(
             ring = ring_handle.attach()
         if return_handle is not None:
             return_ring = return_handle.attach()
-        returns = _EstimateReturn(channel, return_ring, batch_slots=batch_slots)
+        # The worker's own registry; crosses the spawn boundary as the
+        # ObsConfig dict so buckets are fixed fleet-wide before any worker
+        # records a sample.
+        obs = MetricsRegistry(ObsConfig.from_dict(obs_dict)) if obs_dict is not None else None
+        channel.obs = obs
+        returns = _EstimateReturn(channel, return_ring, batch_slots=batch_slots, obs=obs)
         pipeline = QoEPipeline.from_payload(json.loads(pipeline_payload))
         config = (
             PipelineConfig.from_dict(config_dict) if config_dict is not None else pipeline.config
         )
         if new_flow_slack_s is None:
             new_flow_slack_s = DEFAULT_NEW_FLOW_SLACK_WINDOWS * config.window_s
-        engine = StreamingQoEPipeline(pipeline, config=config)
+        engine = StreamingQoEPipeline(pipeline, config=config, obs=obs)
         idle_timeout = config.idle_timeout_s
         eviction = IdleEvictionSchedule(idle_timeout)
         newest_ts: float | None = None
@@ -412,7 +453,13 @@ def shard_worker_main(
             "load": final_load,
         }
         if returns.ring_mode:
-            stats["transport"] = {"reverse": returns.stats()}
+            reverse = returns.stats()
+            stats["transport"] = {"reverse": reverse}
+            if obs is not None:
+                # Mirror the reverse transport counters into the registry so
+                # the fleet view matches MonitorReport.transport exactly; the
+                # increments ride the done message's delta.
+                ingest_transport_stats(obs, reverse, "reverse", shard_id)
         channel.done(tail, stats)
     except BaseException:
         channel.error(traceback.format_exc())
@@ -444,6 +491,7 @@ class ShardWorker:
         ring=None,
         return_ring=None,
         batch_slots: bool = True,
+        obs_dict: dict | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.in_queue = ctx.Queue(maxsize=queue_depth)
@@ -465,6 +513,7 @@ class ShardWorker:
                 ring.handle() if ring is not None else None,
                 return_ring.handle() if return_ring is not None else None,
                 batch_slots,
+                obs_dict,
             ),
             daemon=True,
             name=f"qoe-shard-{shard_id}",

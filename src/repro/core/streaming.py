@@ -33,6 +33,7 @@ import warnings
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from functools import partial
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -48,6 +49,7 @@ from repro.net.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.core.pipeline import PipelineEstimate, QoEPipeline
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["StreamEstimate", "StreamingQoEPipeline", "window_index", "window_indices"]
 
@@ -511,8 +513,12 @@ class StreamingQoEPipeline:
         reorder_depth: int | None | object = _UNSET,
         max_frame_age_s: float | None | object = _UNSET,
         backfill_limit: int | None | object = _UNSET,
+        obs: "MetricsRegistry | None" = None,
     ) -> None:
         self.pipeline = pipeline
+        #: Optional :class:`~repro.obs.registry.MetricsRegistry`; ``None``
+        #: keeps every tick at one falsy branch of overhead.
+        self.obs = obs
         if config is None:
             config = pipeline.config
         overrides = {
@@ -634,6 +640,24 @@ class StreamingQoEPipeline:
         matching ``push``'s property that a closed window's estimate always
         reaches the caller.
         """
+        obs = self.obs
+        if obs is None:
+            return self._push_chunk(packets)
+        started = perf_counter()
+        # Only sized inputs are counted up front: materializing an arbitrary
+        # iterator here would consume it before the error-path held-estimate
+        # semantics get a chance to apply.
+        n_packets = len(packets) if hasattr(packets, "__len__") else None
+        emitted = self._push_chunk(packets)
+        obs.time_stage("push_chunk", started)
+        obs.inc("qoe_engine_ticks_total")
+        if n_packets is not None:
+            obs.inc("qoe_engine_packets_total", n_packets)
+        if emitted:
+            obs.inc("qoe_engine_estimates_total", len(emitted))
+        return emitted
+
+    def _push_chunk(self, packets: Iterable[Packet]) -> list[StreamEstimate]:
         emitted = self._held_estimates
         self._held_estimates = []
         if not self.trained or self._feature_rows is not None:
@@ -690,6 +714,8 @@ class StreamingQoEPipeline:
         self._held_estimates = []
         if len(block) == 0:
             return held
+        obs = self.obs
+        started = perf_counter() if obs is not None else 0.0
         tick = self.trained and self._feature_rows is None
         if tick:
             if self._tick_rows is not None:
@@ -740,6 +766,12 @@ class StreamingQoEPipeline:
         finally:
             if tick:
                 self._tick_rows = None
+        if obs is not None:
+            obs.time_stage("push_block", started)
+            obs.inc("qoe_engine_ticks_total")
+            obs.inc("qoe_engine_packets_total", len(block))
+            if emitted:
+                obs.inc("qoe_engine_estimates_total", len(emitted))
         return emitted
 
     def process(self, packets: Iterable[Packet]) -> Iterator[StreamEstimate]:
@@ -763,6 +795,8 @@ class StreamingQoEPipeline:
         for key in self._flow_order:
             for estimate in self._streams[key].flush():
                 emitted.append(StreamEstimate(flow=key, estimate=estimate))
+        if self.obs is not None and emitted:
+            self.obs.inc("qoe_engine_estimates_total", len(emitted))
         return emitted
 
     def evict_idle(self, idle_s: float) -> list[StreamEstimate]:
@@ -782,7 +816,7 @@ class StreamingQoEPipeline:
         if newest is None:
             return []
         emitted: list[StreamEstimate] = []
-        evicted_any = False
+        n_evicted = 0
         try:
             for key in self._flow_order:
                 stream = self._streams[key]
@@ -794,7 +828,7 @@ class StreamingQoEPipeline:
                     for estimate in stream.flush():
                         emitted.append(StreamEstimate(flow=key, estimate=estimate))
                     del self._streams[key]
-                    evicted_any = True
+                    n_evicted += 1
                     if key is not None:
                         self.flow_table.remove(key)
         finally:
@@ -804,8 +838,13 @@ class StreamingQoEPipeline:
             # flows.  Survivors keep their first-seen order.  Runs even if a
             # flush raised mid-sweep, so _flow_order and _streams can never
             # drift apart (a stale key would poison every later sweep).
-            if evicted_any:
+            if n_evicted:
                 self._flow_order = [key for key in self._flow_order if key in self._streams]
+        if self.obs is not None:
+            if n_evicted:
+                self.obs.inc("qoe_engine_evicted_flows_total", n_evicted)
+            if emitted:
+                self.obs.inc("qoe_engine_estimates_total", len(emitted))
         return emitted
 
     def collect(self, packets: Iterable[Packet], batch: bool = False):
@@ -1070,6 +1109,14 @@ class StreamingQoEPipeline:
         """Run the trained per-metric forests once over ``feature_rows``."""
         from repro.core.pipeline import PipelineEstimate
 
+        obs = self.obs
+        if obs is None:
+            rows = self.pipeline.ml.predict_many(feature_rows, window_starts)
+        else:
+            started = perf_counter()
+            rows = list(self.pipeline.ml.predict_many(feature_rows, window_starts))
+            obs.time_stage("predict", started)
+            obs.inc("qoe_engine_predict_windows_total", len(feature_rows))
         return [
             PipelineEstimate(
                 window_start=row.window_start,
@@ -1079,5 +1126,5 @@ class StreamingQoEPipeline:
                 resolution=row.resolution,
                 source="ml",
             )
-            for row in self.pipeline.ml.predict_many(feature_rows, window_starts)
+            for row in rows
         ]

@@ -43,6 +43,8 @@ from time import perf_counter
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import QoEPipeline
 from repro.core.streaming import StreamEstimate, StreamingQoEPipeline
+from repro.obs.config import ObsConfig
+from repro.obs.registry import MetricsRegistry
 from repro.sources.base import PacketSource, as_source
 
 __all__ = ["MonitorReport", "QoEMonitor", "IdleEvictionSchedule"]
@@ -72,6 +74,26 @@ class MonitorReport:
     every other deployment shape.  Like ``wall_time_s`` it describes how
     the run executed rather than what it computed, so it is excluded from
     equality too.
+
+    The PR 8 observability surfaces follow the same convention (all
+    execution-describing, all ``compare=False``):
+
+    * ``timing`` -- the wall-clock breakdown ``{"wall_time_s", "setup_s",
+      "stream_s", "drain_s"}`` (phases sum to the wall time).
+      :attr:`stream_packets_per_s` divides by the stream phase alone, so
+      worker spawn and drain/teardown no longer dilute the throughput
+      reading the way :attr:`packets_per_s` always has.
+    * ``metrics`` -- the final registry snapshot (see
+      :meth:`MetricsRegistry.snapshot
+      <repro.obs.registry.MetricsRegistry.snapshot>`) when the monitor ran
+      with an enabled :class:`~repro.obs.config.ObsConfig`; ``{}``
+      otherwise.  Feed it to
+      :func:`~repro.obs.render.render_prometheus` for a scrape-format dump.
+    * ``shard_loads`` -- the final per-shard load telemetry of a sharded
+      run (one ``{"live_flows", "buffered_packets", "open_windows"}`` dict
+      per shard, ``{}`` for shards that never reported).
+    * ``migration`` -- the cut-latency summary of a rebalanced run
+      (:func:`~repro.cluster.rebalance.summarize_migrations`).
     """
 
     n_packets: int
@@ -80,6 +102,10 @@ class MonitorReport:
     n_evicted_flows: int
     wall_time_s: float = field(default=0.0, compare=False)
     transport: dict = field(default_factory=dict, compare=False)
+    timing: dict = field(default_factory=dict, compare=False)
+    metrics: dict = field(default_factory=dict, compare=False)
+    shard_loads: tuple = field(default=(), compare=False)
+    migration: dict = field(default_factory=dict, compare=False)
 
     @property
     def packets_consumed(self) -> int:
@@ -97,6 +123,20 @@ class MonitorReport:
         if self.wall_time_s <= 0.0:
             return 0.0
         return self.n_packets / self.wall_time_s
+
+    @property
+    def stream_packets_per_s(self) -> float:
+        """Throughput over the stream phase alone.
+
+        Uses ``timing["stream_s"]`` when the breakdown is available, so
+        setup (worker spawn, model rebuild) and drain (flush, sink close,
+        teardown) stop diluting the reading; falls back to
+        :attr:`packets_per_s` for reports without timing.
+        """
+        stream_s = self.timing.get("stream_s", 0.0)
+        if stream_s > 0.0:
+            return self.n_packets / stream_s
+        return self.packets_per_s
 
 
 class IdleEvictionSchedule:
@@ -164,6 +204,16 @@ class QoEMonitor:
         boundaries, so with ``idle_timeout_s`` enabled evictions can land
         up to one block later than in per-packet mode.  ``None`` (default)
         keeps the per-packet loop.
+    obs:
+        An :class:`~repro.obs.config.ObsConfig` enabling the telemetry
+        plane: the monitor owns a :class:`~repro.obs.registry.MetricsRegistry`
+        (exposed via :meth:`metrics` and ``MonitorReport.metrics``), the
+        engine records tick counters and stage spans into it, and -- in
+        block mode -- source reads and sink fan-out get spans of their own.
+        The per-packet loop records nothing per packet (counters sync once
+        at end of run), keeping its overhead at zero.  ``None`` or
+        ``ObsConfig(enabled=False)`` (default) disables everything;
+        estimates are bit-identical either way.
     """
 
     def __init__(
@@ -174,6 +224,7 @@ class QoEMonitor:
         config: PipelineConfig | None = None,
         batch_grid: bool = False,
         block_size: int | None = None,
+        obs: ObsConfig | None = None,
     ) -> None:
         self.pipeline = pipeline
         self.source: PacketSource = as_source(source)
@@ -194,6 +245,12 @@ class QoEMonitor:
         if block_size is not None and block_size < 1:
             raise ValueError(f"block_size must be >= 1 (or None), got {block_size!r}")
         self.block_size = block_size
+        self.obs = obs
+        #: The monitor's :class:`~repro.obs.registry.MetricsRegistry`
+        #: (``None`` when observability is off).
+        self.registry: MetricsRegistry | None = (
+            MetricsRegistry(obs) if obs is not None and obs.enabled else None
+        )
         #: The engine of the (current or completed) :meth:`run`.
         self.engine: StreamingQoEPipeline | None = None
         self._ran = False
@@ -235,8 +292,22 @@ class QoEMonitor:
                 "QoEMonitor (with fresh sinks) for the next capture"
             )
         self._ran = True
-        self.engine = engine = StreamingQoEPipeline(self.pipeline, config=self.config)
+        registry = self.registry
         started = perf_counter()
+        # The engine records into the same registry: the monitor-level
+        # counters below are loop totals, the engine's are per-tick.  In the
+        # per-packet loop the engine sees obs=None -- a span per packet is
+        # exactly the overhead that mode exists to avoid -- and the loop
+        # syncs its counters into the registry once, at end of run.
+        engine_obs = registry if self.block_size is not None else None
+        self.engine = engine = StreamingQoEPipeline(
+            self.pipeline, config=self.config, obs=engine_obs
+        )
+        if registry is not None:
+            for sink in self.sinks:
+                bind = getattr(sink, "bind_registry", None)
+                if bind is not None:
+                    bind(registry)
         if self.batch_grid:
             return self._run_batch(engine, started)
 
@@ -246,18 +317,23 @@ class QoEMonitor:
         n_estimates = 0
         n_evicted = 0
         flows_seen: set = set()
+        stream_started = drain_started = perf_counter()
         try:
             if self.block_size is not None:
                 from repro.sources.base import iter_blocks
 
-                for block in iter_blocks(self.source, self.block_size):
+                fanout = self._fanout if registry is None else self._fanout_timed
+                blocks = iter_blocks(self.source, self.block_size)
+                if registry is not None:
+                    blocks = registry.timed_iter(blocks, "source_read")
+                for block in blocks:
                     n_packets += len(block)
-                    n_estimates += self._fanout(engine.push_block(block))
+                    n_estimates += fanout(engine.push_block(block))
                     if len(block) and eviction.due(float(block.timestamps.max())):
                         evicted = engine.evict_idle(idle_timeout)
                         n_evicted += len({item.flow for item in evicted})
                         flows_seen.update(item.flow for item in evicted)
-                        n_estimates += self._fanout(evicted)
+                        n_estimates += fanout(evicted)
             else:
                 for packet in self.source:
                     n_packets += 1
@@ -267,17 +343,31 @@ class QoEMonitor:
                         n_evicted += len({item.flow for item in evicted})
                         flows_seen.update(item.flow for item in evicted)
                         n_estimates += self._fanout(evicted)
+            drain_started = perf_counter()
             n_estimates += self._fanout(engine.flush())
         finally:
             for sink in self.sinks:
                 sink.close()
         flows_seen.update(engine._streams.keys())
+        if registry is not None:
+            registry.inc("qoe_monitor_packets_total", n_packets)
+            registry.inc("qoe_monitor_estimates_total", n_estimates)
+            registry.inc("qoe_monitor_evicted_flows_total", n_evicted)
+            registry.set_gauge("qoe_monitor_flows_seen", len(flows_seen))
+        finished = perf_counter()
         return MonitorReport(
             n_packets=n_packets,
             n_estimates=n_estimates,
             n_flows=len(flows_seen),
             n_evicted_flows=n_evicted,
-            wall_time_s=perf_counter() - started,
+            wall_time_s=finished - started,
+            timing={
+                "wall_time_s": finished - started,
+                "setup_s": stream_started - started,
+                "stream_s": drain_started - stream_started,
+                "drain_s": finished - drain_started,
+            },
+            metrics=self.metrics(),
         )
 
     def _run_batch(self, engine: StreamingQoEPipeline, started: float) -> MonitorReport:
@@ -306,3 +396,25 @@ class QoEMonitor:
             for sink in self.sinks:
                 sink.emit(item)
         return len(items)
+
+    def _fanout_timed(self, items: list[StreamEstimate]) -> int:
+        """Block-mode fan-out with a ``sink_emit`` span per non-empty batch."""
+        if not items:
+            return 0
+        started = perf_counter()
+        n = self._fanout(items)
+        self.registry.time_stage("sink_emit", started)
+        return n
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """The registry snapshot (``{}`` when observability is off).
+
+        Callable mid-run or after :meth:`run`; the end-of-run snapshot also
+        rides ``MonitorReport.metrics``.  Render with
+        :func:`~repro.obs.render.render_prometheus` for a scrape.
+        """
+        if self.registry is None:
+            return {}
+        return self.registry.snapshot()

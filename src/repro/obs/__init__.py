@@ -1,0 +1,34 @@
+"""repro.obs -- the unified telemetry plane (PR 8).
+
+One :class:`~repro.obs.registry.MetricsRegistry` per process (counters,
+gauges, fixed-bucket histograms), stage-timing spans threaded through the
+whole data plane behind a frozen :class:`~repro.obs.config.ObsConfig`
+(disabled by default: one falsy branch per tick, nothing allocated), and
+three export surfaces:
+
+* ``monitor.metrics()`` / ``MonitorReport.metrics`` -- the JSON snapshot;
+* :func:`~repro.obs.render.render_prometheus` -- the scrape format;
+* :class:`~repro.obs.logsink.MetricsLogSink` -- periodic JSONL emission
+  driven by stream time.
+
+In a sharded run each worker owns a registry and ships **deltas** on the
+messages it already sends (``progress``/``est``/``done``); the parent
+merges them into one fleet registry, so a single scrape covers the whole
+deployment.  See the README's "Observability" section for the metric name
+catalogue.
+"""
+
+from repro.obs.config import DEFAULT_LATENCY_BUCKETS, ObsConfig
+from repro.obs.registry import MetricsRegistry, ingest_transport_stats
+from repro.obs.render import parse_prometheus, render_prometheus
+from repro.obs.logsink import MetricsLogSink
+
+__all__ = [
+    "ObsConfig",
+    "MetricsRegistry",
+    "MetricsLogSink",
+    "render_prometheus",
+    "parse_prometheus",
+    "ingest_transport_stats",
+    "DEFAULT_LATENCY_BUCKETS",
+]

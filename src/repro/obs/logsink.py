@@ -1,0 +1,81 @@
+"""Periodic metrics emission for long-running monitors.
+
+:class:`MetricsLogSink` is an ordinary estimate sink that rides the
+monitor's output stream as its clock: every ``interval_s`` seconds of
+*stream time* (estimate ``window_start``, not wall time -- so a replayed
+capture produces the same log lines as the live run did) it appends one
+JSON line with a full registry snapshot.  Attach it like any other sink;
+the owning monitor binds its registry automatically at ``run()`` via
+:meth:`bind_registry` (or pass ``registry=`` explicitly to scrape a
+registry you manage yourself).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sinks.base import EstimateSink
+
+__all__ = ["MetricsLogSink"]
+
+
+class MetricsLogSink(EstimateSink):
+    """Append one JSON metrics snapshot per ``interval_s`` of stream time.
+
+    Each line is ``{"stream_time_s": <window_start>, "metrics":
+    <registry snapshot>}``; ``close()`` writes a final line (with
+    ``stream_time_s`` of the last estimate seen) so the terminal counter
+    state is always on disk.  O(1) state per estimate -- the snapshot cost
+    is paid once per interval, not per window.
+    """
+
+    def __init__(self, path, interval_s: float = 10.0, registry=None) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s!r}")
+        self.path = Path(path)
+        self.interval_s = float(interval_s)
+        self.registry = registry
+        self.lines_written = 0
+        self.closed = False
+        self._file = open(self.path, "w", encoding="utf-8")
+        self._next_due: float | None = None
+        self._last_seen: float | None = None
+
+    def bind_registry(self, registry) -> None:
+        """Adopt a monitor's registry (no-op if one was passed explicitly)."""
+        if self.registry is None:
+            self.registry = registry
+
+    def emit(self, item) -> None:
+        if self.closed:
+            raise RuntimeError(f"MetricsLogSink({self.path}) is closed")
+        window_start = item.estimate.window_start
+        if self._last_seen is None or window_start > self._last_seen:
+            self._last_seen = window_start
+        if self._next_due is None:
+            # The first estimate starts the clock; the first line lands one
+            # interval later, so short runs log once (at close), not twice.
+            self._next_due = window_start + self.interval_s
+            return
+        if window_start >= self._next_due:
+            self._write_line(window_start)
+            while self._next_due <= window_start:
+                self._next_due += self.interval_s
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            if self.registry is not None:
+                self._write_line(self._last_seen)
+        finally:
+            self._file.close()
+
+    def _write_line(self, stream_time_s: float | None) -> None:
+        if self.registry is None:
+            return
+        record = {"stream_time_s": stream_time_s, "metrics": self.registry.snapshot()}
+        self._file.write(json.dumps(record) + "\n")
+        self.lines_written += 1

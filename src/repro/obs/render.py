@@ -1,0 +1,103 @@
+"""Prometheus text exposition for registry snapshots.
+
+Operates on the :meth:`MetricsRegistry.snapshot
+<repro.obs.registry.MetricsRegistry.snapshot>` dict -- the interchange
+format -- not on a live registry, so an end-of-run ``MonitorReport.metrics``
+renders exactly like a mid-run scrape.  :func:`parse_prometheus` is the
+inverse for the series lines (comments dropped), used by the CI smoke and
+the tests to pin that the rendering actually parses.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["render_prometheus", "parse_prometheus"]
+
+#: One exposition line: series name, optional {label="value",...}, number.
+_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[0-9eE+.inf-]+|NaN)$"
+)
+
+
+def _base_name(series: str) -> str:
+    return series.split("{", 1)[0]
+
+
+def _with_label(series: str, label: str, value: str) -> str:
+    """Append ``label="value"`` to a rendered series name."""
+    if series.endswith("}"):
+        return f'{series[:-1]},{label}="{value}"}}'
+    return f'{series}{{{label}="{value}"}}'
+
+
+def _format(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render one snapshot dict in the Prometheus text format.
+
+    Counters and gauges emit one line per series; histograms emit
+    cumulative ``_bucket{le=...}`` lines (``+Inf`` included), ``_sum`` and
+    ``_count``.  ``# TYPE`` comments are emitted once per metric family,
+    in sorted order, so the output is deterministic for a given snapshot.
+    """
+    buckets = snapshot.get("buckets", [])
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def announce(series: str, kind: str) -> None:
+        base = _base_name(series)
+        if base not in typed:
+            typed.add(base)
+            lines.append(f"# TYPE {base} {kind}")
+
+    for series, value in snapshot.get("counters", {}).items():
+        announce(series, "counter")
+        lines.append(f"{series} {_format(value)}")
+    for series, value in snapshot.get("gauges", {}).items():
+        announce(series, "gauge")
+        lines.append(f"{series} {_format(value)}")
+    for series, hist in snapshot.get("histograms", {}).items():
+        base = _base_name(series)
+        suffix = series[len(base):]
+        announce(series, "histogram")
+        cumulative = 0
+        for bound, count in zip(buckets, hist["counts"]):
+            cumulative += count
+            lines.append(
+                f"{_with_label(base + '_bucket' + suffix, 'le', _format(float(bound)))} "
+                f"{cumulative}"
+            )
+        lines.append(
+            f"{_with_label(base + '_bucket' + suffix, 'le', '+Inf')} {hist['count']}"
+        )
+        lines.append(f"{base}_sum{suffix} {_format(hist['sum'])}")
+        lines.append(f"{base}_count{suffix} {hist['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``{series: value}``.
+
+    Comment lines (``# TYPE`` / ``# HELP``) are skipped; any other line
+    that does not match the exposition grammar raises ``ValueError`` --
+    this is the "rendering parses" assertion the CI smoke leans on.
+    """
+    series: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _LINE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        name = match.group("name") + (match.group("labels") or "")
+        if name in series:
+            raise ValueError(f"duplicate series {name!r}")
+        series[name] = float(match.group("value"))
+    return series

@@ -8,10 +8,16 @@ what an operator dashboard or a Prometheus scrape endpoint wants.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.streaming import StreamEstimate
 from repro.net.flows import FlowKey
+
+# The registry submodule is imported directly (not the repro.obs package):
+# repro.obs.__init__ pulls in the log sink, which imports repro.sinks --
+# going through the package here would be a circular import.
+from repro.obs.registry import MetricsRegistry
 from repro.sinks.base import EstimateSink
 
 __all__ = ["FlowSummary", "SummarySink", "MetricsSnapshotSink"]
@@ -119,47 +125,86 @@ class SummarySink(_DegradationRule):
 class MetricsSnapshotSink(_DegradationRule):
     """Monotonic counters and gauges for scraping (Prometheus-style).
 
-    :meth:`snapshot` returns a flat ``{metric_name: number}`` dict at any
-    point during the run; counters never reset, so deltas between scrapes
-    are meaningful.  Degraded windows are counted per
-    :class:`_DegradationRule`.  State is O(live flows) (the flow-key set)
-    plus a handful of scalars.
+    Since PR 8 the sink is a thin recorder over its own
+    :class:`~repro.obs.registry.MetricsRegistry` (exposed as
+    :attr:`registry`): :meth:`metrics` returns the structured registry
+    snapshot and :meth:`render_prometheus` the text exposition -- the same
+    formats the monitors' telemetry plane produces, so one scrape handler
+    serves both.  Counters never reset, so deltas between scrapes are
+    meaningful.  Degraded windows are counted per :class:`_DegradationRule`.
+    State is O(live flows) (the flow-key set) plus a handful of series.
+
+    The pre-PR-8 :meth:`snapshot` flat mapping is kept as a deprecated
+    alias with its public metric names unchanged.
     """
 
     def __init__(
         self,
         degraded_fps_threshold: float | None = None,
         degraded_when=None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(degraded_fps_threshold, degraded_when)
+        #: The backing registry; pass one in to share it (e.g. the owning
+        #: monitor's), otherwise the sink owns a private one.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._flows: set = set()
-        self._estimates_total = 0
-        self._degraded_total = 0
-        self._by_source: dict[str, int] = {}
-        self._last_window_start: float | None = None
+        self._sources: set[str] = set()
         self.closed = False
 
     def emit(self, item: StreamEstimate) -> None:
-        self._flows.add(item.flow)
-        self._estimates_total += 1
-        self._by_source[item.estimate.source] = self._by_source.get(item.estimate.source, 0) + 1
+        registry = self.registry
+        if item.flow not in self._flows:
+            self._flows.add(item.flow)
+            registry.set_gauge("qoe_flows_seen", len(self._flows))
+        registry.inc("qoe_estimates_total")
+        source = item.estimate.source
+        self._sources.add(source)
+        registry.inc("qoe_estimates_by_source_total", labels=(("source", source),))
         if self._is_degraded(item):
-            self._degraded_total += 1
-        if self._last_window_start is None or item.estimate.window_start > self._last_window_start:
-            self._last_window_start = item.estimate.window_start
+            registry.inc("qoe_degraded_windows_total")
+        last = registry.gauge_value("qoe_last_window_start_seconds")
+        if last is None or item.estimate.window_start > last:
+            registry.set_gauge("qoe_last_window_start_seconds", item.estimate.window_start)
 
     def close(self) -> None:
         self.closed = True
 
+    def metrics(self) -> dict:
+        """The structured registry snapshot (see ``MetricsRegistry.snapshot``)."""
+        return self.registry.snapshot()
+
+    def render_prometheus(self) -> str:
+        """The sink's series in the Prometheus text exposition format."""
+        return self.registry.render_prometheus()
+
     def snapshot(self) -> dict[str, float]:
-        """Current counter values as a flat scrape-friendly mapping."""
+        """Deprecated: the pre-PR-8 flat ``{metric_name: number}`` mapping.
+
+        Metric names (including the unquoted ``{source=...}`` label form)
+        are unchanged from earlier releases and pinned by test; new code
+        should read :meth:`metrics` or :meth:`render_prometheus`, which use
+        the registry's quoted-label Prometheus series names.
+        """
+        warnings.warn(
+            "MetricsSnapshotSink.snapshot() is deprecated; use metrics() for the "
+            "structured registry snapshot or render_prometheus() for scrape text",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        registry = self.registry
         counters: dict[str, float] = {
-            "qoe_estimates_total": self._estimates_total,
-            "qoe_degraded_windows_total": self._degraded_total,
+            "qoe_estimates_total": registry.counter_value("qoe_estimates_total"),
+            "qoe_degraded_windows_total": registry.counter_value("qoe_degraded_windows_total"),
             "qoe_flows_seen": len(self._flows),
         }
-        for source, count in sorted(self._by_source.items()):
-            counters[f"qoe_estimates_by_source_total{{source={source}}}"] = count
-        if self._last_window_start is not None:
-            counters["qoe_last_window_start_seconds"] = self._last_window_start
+        for source in sorted(self._sources):
+            counters[f"qoe_estimates_by_source_total{{source={source}}}"] = (
+                registry.counter_value(
+                    "qoe_estimates_by_source_total", (("source", source),)
+                )
+            )
+        last = registry.gauge_value("qoe_last_window_start_seconds")
+        if last is not None:
+            counters["qoe_last_window_start_seconds"] = last
         return counters

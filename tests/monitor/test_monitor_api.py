@@ -298,17 +298,42 @@ class TestSinks:
             summary.for_flow(None)
 
     def test_metrics_snapshot_counters(self, teams_call):
+        """The legacy ``snapshot()`` surface: names pinned, now deprecated."""
         pipeline = QoEPipeline.for_vca("teams")
         metrics = MetricsSnapshotSink()
         collector = CollectorSink()
         QoEMonitor(pipeline, TraceSource(teams_call.trace), sinks=[metrics, collector]).run()
-        snapshot = metrics.snapshot()
+        with pytest.warns(DeprecationWarning, match="metrics\\(\\)"):
+            snapshot = metrics.snapshot()
         assert snapshot["qoe_estimates_total"] == len(collector)
         assert snapshot["qoe_flows_seen"] == 1
         assert snapshot["qoe_estimates_by_source_total{source=heuristic}"] == len(collector)
         assert snapshot["qoe_last_window_start_seconds"] == max(
             e.window_start for e in collector.estimates
         )
+
+    def test_metrics_sink_registry_surface(self, teams_call):
+        """The PR 8 surface: a registry-backed sink with a scrape renderer."""
+        from repro import parse_prometheus
+        from repro.obs.registry import MetricsRegistry
+
+        pipeline = QoEPipeline.for_vca("teams")
+        metrics = MetricsSnapshotSink(degraded_fps_threshold=1e9)  # everything degraded
+        collector = CollectorSink()
+        QoEMonitor(pipeline, TraceSource(teams_call.trace), sinks=[metrics, collector]).run()
+        snapshot = metrics.metrics()
+        assert snapshot["counters"]["qoe_estimates_total"] == len(collector)
+        assert snapshot["counters"]["qoe_degraded_windows_total"] == len(collector)
+        assert snapshot["gauges"]["qoe_flows_seen"] == 1
+        series = parse_prometheus(metrics.render_prometheus())
+        assert series["qoe_estimates_total"] == len(collector)
+        assert series['qoe_estimates_by_source_total{source="heuristic"}'] == len(collector)
+        # The deprecated flat mapping reads the same registry (both views
+        # agree), and a caller-supplied registry is adopted, not replaced.
+        with pytest.warns(DeprecationWarning):
+            assert metrics.snapshot()["qoe_estimates_total"] == len(collector)
+        shared = MetricsRegistry()
+        assert MetricsSnapshotSink(registry=shared).registry is shared
 
 
 class TestEvictionAndReadmission:
@@ -540,3 +565,85 @@ class TestDeprecatedAliases:
             StreamingQoEPipeline(QoEPipeline.for_vca("teams")).collect(
                 teams_call.trace, batch=True
             )
+
+
+class TestObservability:
+    """The single-process monitor's telemetry plane (PR 8)."""
+
+    @pytest.mark.parametrize("block_size", [None, 256])
+    def test_estimates_bit_identical_with_obs_on(self, teams_call, block_size):
+        from repro import ObsConfig
+
+        pipeline = QoEPipeline.for_vca("teams")
+        source = TraceSource(teams_call.trace)
+
+        def run(obs=None):
+            sink = CollectorSink()
+            report = QoEMonitor(
+                pipeline, source, sinks=sink, block_size=block_size, obs=obs
+            ).run()
+            return sink, report
+
+        plain, plain_report = run()
+        observed, report = run(ObsConfig(enabled=True))
+        assert [(i.flow, i.estimate) for i in observed.items] == [
+            (i.flow, i.estimate) for i in plain.items
+        ]
+        assert report == plain_report  # metrics/timing are compare-excluded
+        assert plain_report.metrics == {}
+        assert report.metrics["counters"]["qoe_monitor_packets_total"] == report.n_packets
+        assert report.metrics["counters"]["qoe_monitor_estimates_total"] == report.n_estimates
+        assert report.metrics["gauges"]["qoe_monitor_flows_seen"] == report.n_flows
+
+    def test_timing_breakdown_and_stream_throughput(self, teams_call):
+        report = QoEMonitor(
+            QoEPipeline.for_vca("teams"), TraceSource(teams_call.trace), sinks=CollectorSink()
+        ).run()
+        timing = report.timing
+        assert set(timing) == {"wall_time_s", "setup_s", "stream_s", "drain_s"}
+        assert timing["wall_time_s"] == report.wall_time_s
+        assert timing["setup_s"] + timing["stream_s"] + timing["drain_s"] == pytest.approx(
+            timing["wall_time_s"]
+        )
+        assert report.stream_packets_per_s == report.n_packets / timing["stream_s"]
+
+    def test_block_mode_records_engine_spans(self, teams_call):
+        from repro import ObsConfig, parse_prometheus, render_prometheus
+
+        monitor = QoEMonitor(
+            QoEPipeline.for_vca("teams"),
+            TraceSource(teams_call.trace),
+            sinks=CollectorSink(),
+            block_size=256,
+            obs=ObsConfig(enabled=True),
+        )
+        report = monitor.run()
+        stages = {
+            series.split('stage="')[1].rstrip('"}')
+            for series in report.metrics["histograms"]
+            if series.startswith("qoe_stage_seconds")
+        }
+        assert {"source_read", "push_block", "sink_emit"} <= stages
+        # The engine's tick counters agree with the loop totals, and the
+        # whole snapshot survives a scrape round-trip.
+        assert report.metrics["counters"]["qoe_engine_packets_total"] == report.n_packets
+        assert monitor.metrics() == report.metrics
+        series = parse_prometheus(render_prometheus(report.metrics))
+        assert series["qoe_monitor_packets_total"] == report.n_packets
+
+    def test_per_packet_mode_keeps_the_engine_uninstrumented(self, teams_call):
+        from repro import ObsConfig
+
+        monitor = QoEMonitor(
+            QoEPipeline.for_vca("teams"),
+            TraceSource(teams_call.trace),
+            sinks=CollectorSink(),
+            obs=ObsConfig(enabled=True),
+        )
+        report = monitor.run()
+        # No per-packet spans or tick counters -- that overhead is exactly
+        # what the per-packet loop avoids; the monitor totals sync once.
+        assert monitor.engine.obs is None
+        assert "qoe_engine_packets_total" not in report.metrics["counters"]
+        assert report.metrics["histograms"] == {}
+        assert report.metrics["counters"]["qoe_monitor_packets_total"] == report.n_packets

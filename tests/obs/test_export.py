@@ -1,0 +1,149 @@
+"""Export-surface tests: Prometheus rendering/parsing and the periodic log sink.
+
+Pins the PR 8 scrape contract: ``render_prometheus`` emits valid exposition
+text (cumulative buckets, ``+Inf`` equal to the count, one ``# TYPE`` per
+family) that ``parse_prometheus`` inverts exactly, and
+:class:`~repro.obs.logsink.MetricsLogSink` appends one snapshot line per
+interval of *stream* time plus a final line at close.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.pipeline import PipelineEstimate
+from repro.core.streaming import StreamEstimate
+from repro.obs.config import ObsConfig
+from repro.obs.logsink import MetricsLogSink
+from repro.obs.registry import MetricsRegistry
+from repro.obs.render import parse_prometheus, render_prometheus
+
+
+def make_item(window_start: float) -> StreamEstimate:
+    return StreamEstimate(
+        flow=None,
+        estimate=PipelineEstimate(
+            window_start=window_start,
+            frame_rate=24.0,
+            bitrate_kbps=500.0,
+            frame_jitter_ms=1.0,
+            resolution=None,
+            source="heuristic",
+        ),
+    )
+
+
+class TestRenderPrometheus:
+    def _snapshot(self) -> dict:
+        registry = MetricsRegistry(ObsConfig(enabled=True, buckets=(0.5, 1.0)))
+        registry.inc("qoe_a_total", 3)
+        registry.inc("qoe_a_total", 4, (("shard", "1"),))
+        registry.set_gauge("qoe_g", 2.5)
+        registry.observe("lat", 0.2)
+        registry.observe("lat", 0.7)
+        registry.observe("lat", 9.0)
+        return registry.snapshot()
+
+    def test_buckets_are_cumulative_and_inf_equals_count(self):
+        text = render_prometheus(self._snapshot())
+        series = parse_prometheus(text)
+        assert series['lat_bucket{le="0.5"}'] == 1
+        assert series['lat_bucket{le="1"}'] == 2  # cumulative, not per-bucket
+        assert series['lat_bucket{le="+Inf"}'] == 3 == series["lat_count"]
+        assert series["lat_sum"] == pytest.approx(9.9)
+
+    def test_type_comment_once_per_family(self):
+        text = render_prometheus(self._snapshot())
+        type_lines = [line for line in text.splitlines() if line.startswith("# TYPE")]
+        assert type_lines == [
+            "# TYPE qoe_a_total counter",
+            "# TYPE qoe_g gauge",
+            "# TYPE lat histogram",
+        ]
+
+    def test_round_trip_values(self):
+        series = parse_prometheus(render_prometheus(self._snapshot()))
+        assert series["qoe_a_total"] == 3
+        assert series['qoe_a_total{shard="1"}'] == 4
+        assert series["qoe_g"] == 2.5
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestParsePrometheus:
+    def test_skips_comments_and_blank_lines(self):
+        text = "# HELP x something\n# TYPE x counter\n\nx 3\n"
+        assert parse_prometheus(text) == {"x": 3.0}
+
+    def test_rejects_garbage_lines(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus("not a metric line\n")
+
+    def test_rejects_duplicate_series(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_prometheus("x 1\nx 2\n")
+
+
+class TestMetricsLogSink:
+    def test_interval_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="interval_s"):
+            MetricsLogSink(tmp_path / "m.jsonl", interval_s=0.0)
+
+    def test_writes_one_line_per_interval_plus_final(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        registry = MetricsRegistry()
+        sink = MetricsLogSink(path, interval_s=10.0, registry=registry)
+        registry.inc("qoe_estimates_total")
+        sink.emit(make_item(0.0))  # starts the clock, writes nothing
+        sink.emit(make_item(5.0))
+        assert sink.lines_written == 0
+        registry.inc("qoe_estimates_total")
+        sink.emit(make_item(10.0))  # one interval elapsed
+        assert sink.lines_written == 1
+        sink.emit(make_item(12.0))  # same interval: no extra line
+        sink.close()
+        first, final = [json.loads(line) for line in path.read_text().splitlines()]
+        assert first["stream_time_s"] == 10.0
+        assert first["metrics"]["counters"]["qoe_estimates_total"] == 2
+        assert final["stream_time_s"] == 12.0  # last estimate seen, not last line
+
+    def test_close_always_leaves_terminal_state_on_disk(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        registry = MetricsRegistry()
+        sink = MetricsLogSink(path, interval_s=1000.0, registry=registry)
+        registry.inc("qoe_estimates_total", 7)
+        sink.emit(make_item(1.0))
+        sink.close()
+        sink.close()  # idempotent
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["metrics"]["counters"]["qoe_estimates_total"] == 7
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = MetricsLogSink(tmp_path / "m.jsonl", registry=MetricsRegistry())
+        sink.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sink.emit(make_item(0.0))
+
+    def test_bind_registry_adopts_only_when_unset(self, tmp_path):
+        explicit = MetricsRegistry()
+        sink = MetricsLogSink(tmp_path / "m.jsonl", registry=explicit)
+        sink.bind_registry(MetricsRegistry())
+        assert sink.registry is explicit
+        adopted = MetricsLogSink(tmp_path / "n.jsonl")
+        monitor_registry = MetricsRegistry()
+        adopted.bind_registry(monitor_registry)
+        assert adopted.registry is monitor_registry
+        sink.close()
+        adopted.close()
+
+    def test_unbound_sink_logs_nothing(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = MetricsLogSink(path)
+        sink.emit(make_item(0.0))
+        sink.emit(make_item(100.0))
+        sink.close()
+        assert sink.lines_written == 0
+        assert path.read_text() == ""

@@ -1,0 +1,262 @@
+"""Registry unit tests: config validation, recording semantics, delta exactness.
+
+The PR 8 acceptance criteria pinned here:
+
+* :class:`~repro.obs.config.ObsConfig` is frozen, validated, and
+  round-trips through ``to_dict``/``from_dict`` (the spawn wire format);
+* counters/gauges/histograms record with Prometheus semantics (``le`` is
+  inclusive, overflow lands in ``+Inf``) and ``snapshot()`` is
+  deterministic -- equal state gives equal objects regardless of insertion
+  order;
+* ``delta()``/``merge()`` are exact: the sum of every shipped delta equals
+  the source registry, no matter how recording and shipping interleave,
+  and bucket-count mismatches raise instead of corrupting the fleet view.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs.config import DEFAULT_LATENCY_BUCKETS, ObsConfig
+from repro.obs.registry import (
+    STAGE_HISTOGRAM,
+    MetricsRegistry,
+    ingest_transport_stats,
+    render_key,
+)
+
+
+class TestObsConfig:
+    def test_defaults_are_disabled(self):
+        config = ObsConfig()
+        assert config.enabled is False
+        assert config.stage_timing is True
+        assert config.buckets == DEFAULT_LATENCY_BUCKETS
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ObsConfig().enabled = True
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ObsConfig(buckets=())
+        with pytest.raises(ValueError, match="positive and finite"):
+            ObsConfig(buckets=(0.0, 1.0))
+        with pytest.raises(ValueError, match="positive and finite"):
+            ObsConfig(buckets=(1.0, float("inf")))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ObsConfig(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ObsConfig(buckets=(2.0, 1.0))
+
+    def test_buckets_coerced_to_float_tuple(self):
+        config = ObsConfig(buckets=[1, 2, 5])
+        assert config.buckets == (1.0, 2.0, 5.0)
+        assert all(isinstance(b, float) for b in config.buckets)
+
+    def test_replace_revalidates(self):
+        config = ObsConfig().replace(enabled=True)
+        assert config.enabled and config.buckets == DEFAULT_LATENCY_BUCKETS
+        with pytest.raises(ValueError, match="strictly increasing"):
+            config.replace(buckets=(2.0, 1.0))
+
+    def test_dict_round_trip_is_json_safe(self):
+        config = ObsConfig(enabled=True, stage_timing=False, buckets=(0.5, 1.0))
+        data = json.loads(json.dumps(config.to_dict()))
+        assert ObsConfig.from_dict(data) == config
+
+
+class TestCountersAndGauges:
+    def test_counter_defaults_and_increments(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("qoe_x_total") == 0
+        registry.inc("qoe_x_total")
+        registry.inc("qoe_x_total", 41)
+        assert registry.counter_value("qoe_x_total") == 42
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.inc("qoe_x_total", 3, (("shard", "0"),))
+        registry.inc("qoe_x_total", 4, (("shard", "1"),))
+        assert registry.counter_value("qoe_x_total", (("shard", "0"),)) == 3
+        assert registry.counter_value("qoe_x_total", (("shard", "1"),)) == 4
+        assert registry.counter_value("qoe_x_total") == 0  # unlabeled is its own series
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        assert registry.gauge_value("qoe_depth") is None
+        registry.set_gauge("qoe_depth", 7.0)
+        registry.set_gauge("qoe_depth", 3.0)
+        assert registry.gauge_value("qoe_depth") == 3.0
+
+
+class TestHistograms:
+    def test_le_bucket_boundaries_are_inclusive(self):
+        registry = MetricsRegistry(ObsConfig(enabled=True, buckets=(1.0, 2.0)))
+        registry.observe("lat", 1.0)  # exactly on a bound: le semantics, bucket 0
+        registry.observe("lat", 1.5)
+        registry.observe("lat", 2.5)  # beyond the last bound: +Inf bucket
+        hist = registry.snapshot()["histograms"]["lat"]
+        assert hist["counts"] == [1, 1, 1]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(5.0)
+
+    def test_stage_spans_share_one_histogram(self):
+        registry = MetricsRegistry()
+        registry.observe_stage("push_block", 0.001)
+        registry.observe_stage("push_block", 0.002)
+        registry.observe_stage("predict", 0.5)
+        assert registry.stage_count("push_block") == 2
+        assert registry.stage_count("predict") == 1
+        assert registry.stage_count("never_recorded") == 0
+        series = set(registry.snapshot()["histograms"])
+        assert series == {
+            f'{STAGE_HISTOGRAM}{{stage="predict"}}',
+            f'{STAGE_HISTOGRAM}{{stage="push_block"}}',
+        }
+
+    def test_stage_timing_off_skips_spans_but_not_counters(self):
+        registry = MetricsRegistry(ObsConfig(enabled=True, stage_timing=False))
+        registry.observe_stage("push_block", 0.001)
+        registry.time_stage("push_block", 0.0)
+        registry.inc("qoe_x_total")
+        assert registry.stage_count("push_block") == 0
+        assert registry.snapshot()["histograms"] == {}
+        assert registry.counter_value("qoe_x_total") == 1
+
+    def test_timed_iter_yields_everything_and_records_one_span_each(self):
+        registry = MetricsRegistry()
+        assert list(registry.timed_iter(iter([1, 2, 3]), "source_read")) == [1, 2, 3]
+        assert registry.stage_count("source_read") == 3
+
+
+class TestSnapshot:
+    def test_equal_state_gives_equal_snapshots_regardless_of_order(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("qoe_a_total", 1)
+        a.inc("qoe_b_total", 2, (("shard", "1"),))
+        a.set_gauge("qoe_g", 5.0)
+        a.observe_stage("predict", 0.01)
+        b.observe_stage("predict", 0.01)
+        b.set_gauge("qoe_g", 5.0)
+        b.inc("qoe_b_total", 2, (("shard", "1"),))
+        b.inc("qoe_a_total", 1)
+        assert a.snapshot() == b.snapshot()
+        # Deterministic key order, and JSON-able (the interchange contract).
+        assert json.loads(json.dumps(a.snapshot())) == json.loads(json.dumps(b.snapshot()))
+
+    def test_render_prometheus_round_trips_values(self):
+        from repro.obs.render import parse_prometheus
+
+        registry = MetricsRegistry(ObsConfig(enabled=True, buckets=(0.001, 1.0)))
+        registry.inc("qoe_a_total", 3)
+        registry.set_gauge("qoe_g", 2.5, (("shard", "0"),))
+        registry.observe_stage("predict", 0.5)
+        series = parse_prometheus(registry.render_prometheus())
+        assert series["qoe_a_total"] == 3
+        assert series['qoe_g{shard="0"}'] == 2.5
+        assert series['qoe_stage_seconds_bucket{stage="predict",le="+Inf"}'] == 1
+        assert series['qoe_stage_seconds_count{stage="predict"}'] == 1
+
+
+class TestDeltaMerge:
+    def test_empty_registry_ships_nothing(self):
+        assert MetricsRegistry().delta() is None
+
+    def test_delta_advances_the_shipped_baseline(self):
+        registry = MetricsRegistry()
+        registry.inc("qoe_x_total", 5)
+        first = registry.delta()
+        assert first["counters"] == {("qoe_x_total", ()): 5}
+        assert registry.delta() is None  # nothing new, nothing to ship
+        registry.inc("qoe_x_total", 2)
+        assert registry.delta()["counters"] == {("qoe_x_total", ()): 2}
+
+    def test_zero_valued_counters_never_ship(self):
+        registry = MetricsRegistry()
+        registry.inc("qoe_x_total", 0)
+        assert registry.delta() is None
+
+    def test_gauges_ship_by_value_on_every_delta(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("qoe_g", 1.0)
+        assert registry.delta()["gauges"] == {("qoe_g", ()): 1.0}
+        # Unchanged gauges still ride the next delta: by-value, not by-diff.
+        assert registry.delta()["gauges"] == {("qoe_g", ()): 1.0}
+
+    def test_interleaved_deltas_sum_to_the_source_exactly(self):
+        source = MetricsRegistry()
+        fleet = MetricsRegistry()
+        for round_no in range(1, 6):
+            source.inc("qoe_packets_total", round_no * 10)
+            source.inc("qoe_blocks_total", 1, (("shard", "0"),))
+            source.observe_stage("push_block", 0.0001 * round_no)
+            source.set_gauge("qoe_live", float(round_no))
+            if round_no % 2:  # ship on odd rounds only: deltas accumulate
+                fleet.merge(source.delta())
+        final = source.delta()
+        assert final is not None  # rounds 4 and 5 were still pending
+        fleet.merge(final)
+        assert fleet.snapshot() == source.snapshot()
+
+    def test_histogram_deltas_carry_bucket_increments(self):
+        source = MetricsRegistry(ObsConfig(enabled=True, buckets=(1.0, 2.0)))
+        source.observe("lat", 0.5)
+        first = source.delta()
+        ((counts, total),) = first["histograms"].values()
+        assert counts == [1, 0, 0] and total == pytest.approx(0.5)
+        source.observe("lat", 5.0)
+        ((counts, total),) = source.delta()["histograms"].values()
+        assert counts == [0, 0, 1] and total == pytest.approx(5.0)
+
+    def test_merge_rejects_bucket_count_mismatch(self):
+        source = MetricsRegistry(ObsConfig(enabled=True, buckets=(1.0,)))
+        source.observe("lat", 0.5)
+        fleet = MetricsRegistry()  # default bucket vector
+        with pytest.raises(ValueError, match="buckets"):
+            fleet.merge(source.delta())
+
+
+class TestTransportIngestion:
+    def test_counts_become_counters_and_hwms_become_shard_gauges(self):
+        registry = MetricsRegistry()
+        stats = {
+            "slots_written": 18,
+            "slot_reuses": 2,
+            "segments_written": 20,
+            "queue_fallbacks": 0,
+            "max_segments_per_slot": 4,
+            "occupancy_hwm": 3,
+        }
+        ingest_transport_stats(registry, stats, "reverse", 1)
+        direction = (("direction", "reverse"),)
+        assert registry.counter_value("qoe_transport_slots_written_total", direction) == 18
+        assert registry.counter_value("qoe_transport_slot_reuses_total", direction) == 2
+        assert registry.counter_value("qoe_transport_segments_written_total", direction) == 20
+        assert registry.counter_value("qoe_transport_queue_fallbacks_total", direction) == 0
+        per_shard = (("direction", "reverse"), ("shard", "1"))
+        assert registry.gauge_value("qoe_transport_max_segments_per_slot", per_shard) == 4
+        assert registry.gauge_value("qoe_transport_occupancy_hwm", per_shard) == 3
+
+    def test_counts_sum_across_shards_hwms_stay_per_shard(self):
+        registry = MetricsRegistry()
+        ingest_transport_stats(registry, {"slots_written": 3, "occupancy_hwm": 2}, "forward", 0)
+        ingest_transport_stats(registry, {"slots_written": 4, "occupancy_hwm": 5}, "forward", 1)
+        direction = (("direction", "forward"),)
+        assert registry.counter_value("qoe_transport_slots_written_total", direction) == 7
+        hwms = [
+            registry.gauge_value("qoe_transport_occupancy_hwm", (("direction", "forward"), ("shard", str(s))))
+            for s in (0, 1)
+        ]
+        assert hwms == [2, 5]
+
+
+def test_render_key_formats():
+    assert render_key(("qoe_x_total", ())) == "qoe_x_total"
+    assert (
+        render_key(("qoe_x_total", (("direction", "forward"), ("shard", "0"))))
+        == 'qoe_x_total{direction="forward",shard="0"}'
+    )
