@@ -1,0 +1,147 @@
+"""Per-operator microbenchmark: vectorized vs scalar frame assembly.
+
+Isolates Algorithm 1 from the rest of the engine: one flow's sorted
+``(payload_size, timestamp)`` columns pushed through
+
+* the **scalar reference** (``FrameAssembler.push``): one ``Packet`` at a
+  time, the literal Appendix B transcription;
+* the **vectorized run path** (``FrameAssembler.push_rows``): whole
+  block-sized runs assigned to frames with array operations, zero packet
+  objects.
+
+Both produce frame-for-frame identical output (pinned by
+``tests/core/test_frame_assembly.py``), so rows/second compares equal work.
+The result is written to ``benchmarks/results/BENCH_assembler.json``; the
+speedup floor is relaxed to 1x under ``BENCH_SMOKE_DURATION_S`` and
+overridable via ``BENCH_ASSEMBLER_MIN_SPEEDUP``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, save_artifact
+from repro.core.frame_assembly import FrameAssembler
+from repro.net.packet import RTP_FIXED_HEADER_LEN, IPv4Header, Packet, UDPHeader
+
+_SMOKE = "BENCH_SMOKE_DURATION_S" in os.environ
+TRACE_DURATION_S = float(os.environ.get("BENCH_SMOKE_DURATION_S", 300.0))
+RUN_SIZE = 1024
+DELTA_SIZE = 2.0
+LOOKBACK = 2
+#: The vectorized path must beat the scalar reference by this factor; the
+#: win is single-core (array ops, not overlap), so no multicore gate.
+SPEEDUP_FLOOR = float(os.environ.get("BENCH_ASSEMBLER_MIN_SPEEDUP", "1.0" if _SMOKE else "3.0"))
+_ARTIFACT_NAME = "BENCH_assembler_smoke" if _SMOKE else "BENCH_assembler"
+
+_measured: dict[str, float] = {}
+_counts: dict[str, int] = {}
+
+
+def _synthetic_columns() -> tuple[np.ndarray, np.ndarray]:
+    """One VCA-like flow as sorted columns: ~25 fps fragmented video bursts."""
+    rng = np.random.default_rng(11)
+    sizes: list[int] = []
+    timestamps: list[float] = []
+    t = 0.0
+    while t < TRACE_DURATION_S:
+        size = int(rng.integers(700, 1200))
+        for i in range(int(rng.integers(2, 5))):
+            sizes.append(size)
+            timestamps.append(t + i * 0.0008)
+        t += float(rng.normal(0.04, 0.004))
+    return np.array(sizes, dtype=np.int64), np.array(timestamps, dtype=np.float64)
+
+
+@pytest.fixture(scope="module")
+def columns() -> tuple[np.ndarray, np.ndarray]:
+    return _synthetic_columns()
+
+
+@pytest.fixture(scope="module")
+def packets(columns) -> list[Packet]:
+    """The same rows as ``Packet`` objects (what the scalar path consumes)."""
+    sizes, timestamps = columns
+    ip = IPv4Header(src="192.0.2.10", dst="10.0.0.1")
+    udp = UDPHeader(src_port=3478, dst_port=50000)
+    return [
+        Packet(timestamp=float(ts), ip=ip, udp=udp, payload_size=int(size))
+        for size, ts in zip(sizes, timestamps)
+    ]
+
+
+def _run_scalar(packets: list[Packet]) -> int:
+    assembler = FrameAssembler(delta_size=DELTA_SIZE, lookback=LOOKBACK)
+    count = sum(len(assembler.push(packet)) for packet in packets)
+    return count + len(assembler.flush())
+
+
+def _run_vectorized(columns: tuple[np.ndarray, np.ndarray]) -> int:
+    sizes, timestamps = columns
+    media = np.maximum(sizes - RTP_FIXED_HEADER_LEN, 0)
+    assembler = FrameAssembler(delta_size=DELTA_SIZE, lookback=LOOKBACK)
+    count = 0
+    for lo in range(0, len(sizes), RUN_SIZE):
+        hi = lo + RUN_SIZE
+        run = assembler.push_rows(sizes[lo:hi], media[lo:hi], timestamps[lo:hi])
+        count += len(run.finalized)
+    return count + len(assembler.flush())
+
+
+def test_benchmark_assembler_scalar(benchmark, packets):
+    n = benchmark.pedantic(_run_scalar, args=(packets,), rounds=5, iterations=1, warmup_rounds=1)
+    _counts["scalar"] = n
+    if benchmark.stats is not None:
+        _measured["scalar_s"] = float(benchmark.stats.stats.min)
+
+
+def test_benchmark_assembler_vectorized(benchmark, columns):
+    n = benchmark.pedantic(_run_vectorized, args=(columns,), rounds=5, iterations=1, warmup_rounds=1)
+    _counts["vectorized"] = n
+    if benchmark.stats is not None:
+        _measured["vectorized_s"] = float(benchmark.stats.stats.min)
+
+
+def test_assembler_speedup_and_artifact(columns):
+    if not {"scalar_s", "vectorized_s"} <= _measured.keys():
+        pytest.skip("benchmark timings unavailable (benchmarks disabled?)")
+    # Same frames out of both implementations.
+    assert _counts["scalar"] == _counts["vectorized"]
+
+    n_rows = len(columns[0])
+    scalar_rps = n_rows / _measured["scalar_s"]
+    vectorized_rps = n_rows / _measured["vectorized_s"]
+    speedup = vectorized_rps / scalar_rps
+
+    payload = {
+        "benchmark": "assembler_throughput",
+        "trace": {"duration_s": TRACE_DURATION_S, "n_rows": n_rows, "n_frames": _counts["scalar"]},
+        "run_size": RUN_SIZE,
+        "delta_size": DELTA_SIZE,
+        "lookback": LOOKBACK,
+        "scalar_rows_per_s": round(scalar_rps, 1),
+        "vectorized_rows_per_s": round(vectorized_rps, 1),
+        "speedup": round(speedup, 2),
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{_ARTIFACT_NAME}.json").write_text(json.dumps(payload, indent=2) + "\n")
+    save_artifact(
+        _ARTIFACT_NAME,
+        "\n".join(
+            [
+                f"Frame assembly: vectorized push_rows vs scalar push ({TRACE_DURATION_S:.0f}s synthetic flow)",
+                f"  rows:               {n_rows}",
+                f"  frames:             {_counts['scalar']}",
+                f"  scalar push:        {scalar_rps:12.0f} rows/s",
+                f"  vectorized rows:    {vectorized_rps:12.0f} rows/s  ({speedup:.2f}x, floor {SPEEDUP_FLOOR}x)",
+            ]
+        ),
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized assembler only {speedup:.2f}x the scalar push (floor {SPEEDUP_FLOOR}x)"
+    )

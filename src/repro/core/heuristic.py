@@ -13,6 +13,7 @@ there is no direct per-frame resolution signal).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -64,15 +65,33 @@ def estimates_from_frames(
         raise ValueError("window_s must be positive")
     if window_end is None:
         window_end = window_start + window_s
-    in_window = [f for f in frames if window_start <= f.end_time < window_end]
-    in_window.sort(key=lambda f: f.end_time)
+    # Only the sorted end-time sequence and the size total feed the metrics,
+    # so one pass + one scalar sort replaces materializing and sorting the
+    # member frames (this sits on the streaming engine's per-window hot path).
+    end_times: list[float] = []
+    size_total = 0
+    for f in frames:
+        end_time = f._end_time
+        if window_start <= end_time < window_end:
+            end_times.append(end_time)
+            size_total += f.size_bytes
+    end_times.sort()
+    n_frames = len(end_times)
 
-    frame_rate = len(in_window) / window_s
-    bitrate_kbps = sum(f.size_bytes for f in in_window) * 8.0 / 1000.0 / window_s
+    frame_rate = n_frames / window_s
+    bitrate_kbps = size_total * 8.0 / 1000.0 / window_s
 
-    if len(in_window) >= 3:
-        end_times = np.array([f.end_time for f in in_window])
-        jitter_ms = float(np.std(np.diff(end_times)) * 1000.0)
+    if n_frames >= 3:
+        ends = np.array(end_times)
+        # Inlined np.std(np.diff(ends)): the same ufunc calls in the same
+        # order (pairwise add.reduce, subtract, in-place square, sqrt), so
+        # the result is bit-identical -- minus the dispatch wrappers, which
+        # dominate at this array size on the per-window hot path.
+        d = ends[1:] - ends[:-1]
+        nd = d.shape[0]
+        x = d - np.add.reduce(d) / nd
+        x *= x
+        jitter_ms = math.sqrt(np.add.reduce(x) / nd) * 1000.0
     else:
         jitter_ms = 0.0
 
@@ -81,7 +100,7 @@ def estimates_from_frames(
         frame_rate=frame_rate,
         bitrate_kbps=bitrate_kbps,
         frame_jitter_ms=jitter_ms,
-        n_frames=len(in_window),
+        n_frames=n_frames,
     )
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import heapq
 import math
 import warnings
+from bisect import bisect_right
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from functools import partial
@@ -45,7 +46,7 @@ from repro.core.heuristic import estimates_from_frames
 from repro.core.media import MediaClassifier
 from repro.net.block import PacketBlock, _BlockRow
 from repro.net.flows import FlowKey, FlowTable
-from repro.net.packet import Packet
+from repro.net.packet import RTP_FIXED_HEADER_LEN, Packet
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.core.pipeline import PipelineEstimate, QoEPipeline
@@ -55,6 +56,20 @@ __all__ = ["StreamEstimate", "StreamingQoEPipeline", "window_index", "window_ind
 
 #: Sentinel distinguishing "not passed" from an explicit ``None`` override.
 _UNSET = object()
+
+_PIPELINE_ESTIMATE_CLS = None
+
+
+def _pipeline_estimate_cls():
+    """Late-bound :class:`~repro.core.pipeline.PipelineEstimate` (circular
+    import at module load), cached so the per-window emit path doesn't pay
+    the import-machinery lookup on every call."""
+    global _PIPELINE_ESTIMATE_CLS
+    if _PIPELINE_ESTIMATE_CLS is None:
+        from repro.core.pipeline import PipelineEstimate
+
+        _PIPELINE_ESTIMATE_CLS = PipelineEstimate
+    return _PIPELINE_ESTIMATE_CLS
 
 
 def window_index(timestamp: float, start: float, window_s: float) -> int:
@@ -136,8 +151,12 @@ class _FlowStream:
         classifier: MediaClassifier,
         assembler: FrameAssembler | None,
         predict: Callable[[np.ndarray, float], "PipelineEstimate | None"] | None,
+        obs: "MetricsRegistry | None" = None,
     ) -> None:
         assert config.reorder_depth is not None, "engine must resolve reorder_depth"
+        #: Optional metrics registry (engine-owned); records the
+        #: ``frame_assembly`` stage span on the heuristic block path.
+        self.obs = obs
         self.window_s = config.window_s
         self.start = config.start
         self.reorder_depth = config.reorder_depth
@@ -210,32 +229,34 @@ class _FlowStream:
         ``positions`` carries each row's index in the enclosing block, and
         every returned estimate is tagged with the position of the row whose
         (virtual) push triggered it, so the engine can interleave flows back
-        into exact per-packet emission order.  ``rows`` (heuristic mode
-        only) are the packet-like objects for the same rows -- frame
-        assembly needs objects, trained feature accumulation does not.
+        into exact per-packet emission order.  ``rows`` is an optional list
+        of packet-like objects for the same rows (kept for callers that
+        still have them); neither mode needs it -- absent rows degrade to
+        ``_BlockRow`` views on the columns.
 
         When the run is timestamp-sorted and nothing in it backdates the
         reorder buffer -- the overwhelmingly common case -- the reorder
         buffer reduces to a sliding delay line: the released rows are the
         sorted buffer followed by the run's prefix.  Trained mode then
         processes the releases with one vectorized window assignment and one
-        array accumulator update per window; heuristic mode feeds them to
-        the (inherently sequential) release operators directly, skipping
-        only the per-packet heap.  Both replay exactly what per-packet
-        :meth:`push` does (same releases, same order, same float
-        arithmetic); disordered runs fall back to the per-row path, which
-        *is* :meth:`push`.
+        array accumulator update per window; heuristic mode runs the
+        vectorized frame assembler (:meth:`FrameAssembler.push_rows`) over
+        the released video rows and replays the window-close schedule from
+        the resulting frame spans, constructing zero packet objects.  Both
+        replay exactly what per-packet :meth:`push` does (same releases,
+        same order, same float arithmetic); disordered runs -- and runs
+        where the liveness bound (``max_frame_age_s``) could evict a frame
+        mid-run -- fall back to the per-row path, which *is* :meth:`push`.
         """
         m = len(timestamps)
         if m == 0:
             return []
         trained = self.predict is not None
-        assert trained or rows is not None, "heuristic push_rows needs packet objects"
-        newest = float(timestamps.max())
-        if self.last_seen is None or newest > self.last_seen:
-            self.last_seen = newest
         pending = self._pending
         ordered = m == 1 or bool(np.all(timestamps[1:] >= timestamps[:-1]))
+        newest = float(timestamps[-1]) if ordered else float(timestamps.max())
+        if self.last_seen is None or newest > self.last_seen:
+            self.last_seen = newest
         if ordered and pending:
             ordered = float(timestamps[0]) >= max(entry[0] for entry in pending)
         if ordered and self._watermark is not None:
@@ -264,17 +285,27 @@ class _FlowStream:
         if n_release:
             trig_start = depth - p0
             if not trained:
-                # Heuristic mode: releases run through the ordinary operator
-                # chain (frame assembly is order-sensitive by design); only
-                # the reorder heap is bypassed.
-                released = [entry[2] for entry in pending_sorted[:n_release]]
-                released.extend(rows[: n_release - len(released)])
-                for r, row in enumerate(released):
-                    trig = int(positions[trig_start + r])
-                    self.trigger_pos = trig
-                    for estimate in self._release(row):
-                        out.append((trig, estimate))
-                self.trigger_pos = None
+                vectorized = self._push_rows_heuristic(
+                    timestamps, sizes, positions, pending_sorted, p0, n_release, trig_start
+                )
+                if vectorized is None:
+                    # Liveness bailout: a stale sweep could evict a frame
+                    # mid-run, so replay per row -- _release interleaves
+                    # finalize_stale exactly.
+                    released = [entry[2] for entry in pending_sorted[:n_release]]
+                    if rows is not None:
+                        released.extend(rows[: n_release - len(released)])
+                    else:
+                        for i in range(n_release - len(released)):
+                            released.append(_BlockRow(float(timestamps[i]), int(sizes[i])))
+                    for r, row in enumerate(released):
+                        trig = int(positions[trig_start + r])
+                        self.trigger_pos = trig
+                        for estimate in self._release(row):
+                            out.append((trig, estimate))
+                    self.trigger_pos = None
+                else:
+                    out = vectorized
             else:
                 if p0:
                     pend_ts = np.fromiter(
@@ -322,6 +353,211 @@ class _FlowStream:
                 timestamp = float(timestamps[i])
                 tail.append((timestamp, seq0 + i, _BlockRow(timestamp, int(sizes[i]))))
         self._pending = tail
+        return out
+
+    def _push_rows_heuristic(
+        self,
+        timestamps: np.ndarray,
+        sizes: np.ndarray,
+        positions: np.ndarray,
+        pending_sorted: list,
+        p0: int,
+        n_release: int,
+        trig_start: int,
+    ) -> "list[tuple[int, PipelineEstimate]] | None":
+        """Vectorized heuristic release path over one sorted run.
+
+        The released rows (sorted reorder buffer ++ run prefix) are
+        classified with one ``video_mask`` call, assembled with one
+        :meth:`FrameAssembler.push_rows` call, and the window-close loop of
+        :meth:`_close_ready` is replayed from the run's frame spans: window
+        ``k`` closes at the first released row ``r`` past its end where no
+        open frame could still finalize into it, and the emission is tagged
+        with ``positions[trig_start + r]`` -- the same trigger the
+        per-packet path would have used.  Finalized frames bucket in
+        finalization order, interleaved with emissions exactly as scalar
+        pushes interleave them, so estimates and their order are
+        bit-identical.
+
+        Returns ``None`` -- committing nothing -- when the assembler's
+        liveness precheck says a ``finalize_stale`` sweep could fire inside
+        this run (the caller then releases per row).
+        """
+        assembler = self.assembler
+        assert assembler is not None
+        if p0:
+            pend_ts = np.fromiter(
+                (entry[0] for entry in pending_sorted), dtype=np.float64, count=p0
+            )
+            pend_sz = np.fromiter(
+                (entry[2].payload_size for entry in pending_sorted), dtype=np.int64, count=p0
+            )
+            rel_ts = np.concatenate((pend_ts, timestamps))[:n_release]
+            rel_sz = np.concatenate((pend_sz, sizes))[:n_release]
+        else:
+            rel_ts = timestamps[:n_release]
+            rel_sz = sizes[:n_release]
+        horizon = float(rel_ts[-1])
+        mask = self.classifier.video_mask(rel_sz)
+        n_video = int(np.count_nonzero(mask))
+        run = None
+        vrows: np.ndarray | None = None
+        vts: np.ndarray | None = None
+        if n_video:
+            if n_video == n_release:
+                # Every released row is video (the common case on a video
+                # flow): the video -> released row mapping is the identity,
+                # so skip the flatnonzero/fancy-index indirection.
+                vts = rel_ts
+                vsz = rel_sz
+            else:
+                vrows = np.flatnonzero(mask)
+                vts = rel_ts[vrows]
+                vsz = rel_sz[vrows]
+            media = np.maximum(vsz - RTP_FIXED_HEADER_LEN, 0)
+            obs = self.obs
+            started = perf_counter() if obs is not None else 0.0
+            run = assembler.push_rows(
+                vsz, media, vts, max_gap_s=self.max_frame_age_s, horizon=horizon
+            )
+            if obs is not None:
+                obs.time_stage("frame_assembly", started)
+            if run is None:
+                return None
+        elif self.max_frame_age_s is not None:
+            stale_bound = horizon - self.max_frame_age_s
+            if any(f.end_time < stale_bound for f in assembler._open.values()):
+                return None
+
+        if self._watermark is None and self.backfill_limit is not None:
+            first_window = window_index(float(rel_ts[0]), self.start, self.window_s)
+            self._next_window = max(self._next_window, first_window - self.backfill_limit)
+        self._watermark = horizon
+
+        if horizon < self.start + (self._next_window + 1) * self.window_s:
+            # No window can close inside this run: skip the replay machinery
+            # and just bucket the finalized frames in order.
+            if run is not None:
+                for _, frame in run.finalized:
+                    self._bucket_frame(frame)
+            return []
+
+        # Per-frame placement in released-row coordinates.  Two fancy-indexes
+        # over the shared occurrence array plus ``tolist`` convert everything
+        # the replay loop touches into plain Python scalars up front; each
+        # span is just ``(lo, hi)`` bounds into those shared lists (the loop
+        # bisects within the bounds, no per-span copies).  Frames that
+        # finalize before the first unclosed window's boundary row can never
+        # block a close (``cross`` only grows), so they are dropped here.
+        occ_rel_all: list[int] = []
+        occ_ts_all: list[float] = []
+        span_data: list[tuple[int, int, int | None, float | None, int]] = []
+        fins: list[AssembledFrame] = []
+        fin_rows: list[int] = []
+        if run is not None:
+            assert vts is not None
+            occ_idx = np.maximum(run.occ_all, 0)  # carried prefix slots (< 0) are never read
+            if vrows is None:
+                occ_rel_all = occ_idx.tolist()
+                occ_ts_all = rel_ts[occ_idx].tolist()
+                vrows_list: "range | list[int]" = range(n_release)
+            else:
+                occ_rel_all = vrows[occ_idx].tolist()
+                occ_ts_all = vts[occ_idx].tolist()
+                vrows_list = vrows.tolist()
+            lo_list = run.lo.tolist()
+            hi_list = run.hi.tolist()
+            fin_rows_run = run.fin_rows
+            cross0 = int(
+                np.searchsorted(
+                    rel_ts, self.start + (self._next_window + 1) * self.window_s, side="left"
+                )
+            )
+            for g, prior_end in enumerate(run.prior_ends):
+                fin = fin_rows_run[g]
+                if fin is not None:
+                    fin_rel = vrows_list[fin]
+                    if fin_rel <= cross0:
+                        continue  # finalized before any closable boundary
+                else:
+                    fin_rel = None
+                lo = lo_list[g]
+                first_rel = -1 if prior_end is not None else occ_rel_all[lo]
+                span_data.append((lo, hi_list[g], fin_rel, prior_end, first_rel))
+            fin_ends: list[float] = []
+            for row, frame in run.finalized:
+                fins.append(frame)
+                fin_rows.append(vrows_list[row])
+                fin_ends.append(frame._end_time)
+        elif assembler._open:
+            # Pure non-video run: carried open frames still gate window
+            # closes (they can neither finalize nor gain packets here).
+            for frame in assembler._open.values():
+                span_data.append((0, 0, None, frame.end_time, -1))
+
+        out: list[tuple[int, PipelineEstimate]] = []
+        ev = 0
+        n_fins = len(fins)
+        # One vectorized window_index over every finalized frame (identical
+        # arithmetic), then inline bucketing -- _bucket_frame per frame is
+        # measurable at this call rate.
+        fin_ks: list[int] = []
+        if n_fins:
+            fin_ks = window_indices(np.array(fin_ends), self.start, self.window_s).tolist()
+        buckets = self._frame_buckets
+        while True:
+            window_end = self.start + (self._next_window + 1) * self.window_s
+            if horizon < window_end:
+                break
+            cross = int(np.searchsorted(rel_ts, window_end, side="left"))
+            r = cross
+            blocked = False
+            for lo, hi, fin_rel, prior_end, first_rel in span_data:
+                if fin_rel is not None and fin_rel <= cross:
+                    continue  # already finalized by the time the window ends
+                if first_rel > cross:
+                    continue  # opens past the boundary: its end is >= window_end
+                i = bisect_right(occ_rel_all, cross, lo, hi) - 1
+                end = occ_ts_all[i] if i >= lo else prior_end
+                assert end is not None
+                if end >= window_end:
+                    continue
+                # The frame blocks window k until it finalizes or gains a
+                # packet at/after the boundary row (whose timestamp is then
+                # necessarily >= window_end).
+                unblock = fin_rel
+                if i + 1 < hi:
+                    gain = occ_rel_all[i + 1]
+                    unblock = gain if unblock is None else min(unblock, gain)
+                if unblock is None:
+                    blocked = True  # stays open past the run: window can't close yet
+                    break
+                if unblock > r:
+                    r = unblock
+            if blocked:
+                break
+            while ev < n_fins and fin_rows[ev] <= r:
+                k_fin = fin_ks[ev]
+                if k_fin >= self._next_window:
+                    bucket = buckets.get(k_fin)
+                    if bucket is None:
+                        buckets[k_fin] = [fins[ev]]
+                    else:
+                        bucket.append(fins[ev])
+                ev += 1
+            trig = int(positions[trig_start + r])
+            estimate = self._emit(self._next_window)
+            if estimate is not None:
+                out.append((trig, estimate))
+        while ev < n_fins:
+            k_fin = fin_ks[ev]
+            if k_fin >= self._next_window:
+                bucket = buckets.get(k_fin)
+                if bucket is None:
+                    buckets[k_fin] = [fins[ev]]
+                else:
+                    bucket.append(fins[ev])
+            ev += 1
         return out
 
     def flush(self) -> list["PipelineEstimate"]:
@@ -419,7 +655,7 @@ class _FlowStream:
         return estimates
 
     def _emit(self, k: int) -> "PipelineEstimate | None":
-        from repro.core.pipeline import PipelineEstimate
+        PipelineEstimate = _pipeline_estimate_cls()
 
         window_start = self.start + k * self.window_s
         self._next_window = k + 1
@@ -690,12 +926,13 @@ class StreamingQoEPipeline:
         The struct-of-arrays hot path: the block is demultiplexed by its
         pre-computed flow codes (one stable argsort, no per-packet dict
         work), per-flow statistics update in bulk, and each flow's rows run
-        through the stream's columnar path -- vectorized window assignment
-        and array accumulator updates in trained mode
-        (:meth:`_FlowStream.push_rows`), the ordinary per-packet operators in
-        heuristic mode (frame assembly is inherently sequential).  Windows
-        closing anywhere in the block share one vectorized inference call,
-        exactly like :meth:`push_chunk`.
+        through the stream's columnar path (:meth:`_FlowStream.push_rows`)
+        -- vectorized window assignment and array accumulator updates in
+        trained mode, vectorized frame assembly and window-close replay in
+        heuristic mode.  No packet objects are constructed for sorted
+        in-flow runs in either mode.  Windows closing anywhere in the block
+        share one vectorized inference call, exactly like
+        :meth:`push_chunk`.
 
         **Equivalence contract (pinned by tests):** feeding a capture through
         ``push_block`` emits the same estimates as per-packet :meth:`push`,
@@ -746,9 +983,8 @@ class StreamingQoEPipeline:
                     stream = self._make_stream(key)
                     self._streams[key] = stream
                     self._flow_order.append(key)
-                rows = None if self.trained else block.packet_rows(idx)
                 for pos, estimate in stream.push_rows(
-                    block.timestamps[idx], block.sizes[idx], idx, rows=rows
+                    block.timestamps[idx], block.sizes[idx], idx
                 ):
                     tagged.append((pos, seq, StreamEstimate(flow=key, estimate=estimate)))
                     seq += 1
@@ -1056,6 +1292,7 @@ class StreamingQoEPipeline:
             classifier=self.pipeline.heuristic.classifier,
             assembler=FrameAssembler(delta_size=self._delta_size, lookback=self._lookback),
             predict=None,
+            obs=self.obs,
         )
 
     def _window_closed(self, key: FlowKey | None, features: np.ndarray, window_start: float):

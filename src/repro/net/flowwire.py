@@ -13,8 +13,8 @@ Layout (every section padded to an 8-byte boundary)::
 
     header | scalars | meta JSON | pending_ts | pending_seqs | pending_sizes |
     acc_sizes | acc_iats | acc_unique | frame_indices | frame_windows |
-    frame_open | frame_counts | frame_pkt_ts | frame_pkt_sizes |
-    recent_ts | recent_sizes | recent_frames
+    frame_open | frame_n_packets | frame_size_bytes | frame_raw_bytes |
+    frame_start_ts | frame_end_ts | recent_ts | recent_sizes | recent_frames
 
 The header is ``_HEADER`` (magic, version, flags, reorder-buffer row count,
 meta length).  Every float scalar and column is raw ``<f8`` — nothing is
@@ -27,9 +27,13 @@ Buffered packets degrade to ``(timestamp, payload_size)`` rows on restore —
 exactly the :class:`~repro.net.block._BlockRow` degradation the columnar
 transport already applies — which is value-equivalent for everything the
 estimator computes (assembly compares ``payload_size``; features read
-``media_payload_size`` / ``timestamp``).  Frame-assembler object identity
-(the lookback deque references the *same* open-frame objects as the open
-table) is rebuilt structurally from the ``recent_frames`` column.
+``media_payload_size`` / ``timestamp``).  Frames travel as one aggregate
+row each (version 2: ``n_packets`` / ``size_bytes`` / ``raw_size_bytes`` /
+``start_time`` / ``end_time``), matching the aggregate-only frames the
+vectorized assembler produces — per-packet frame columns no longer exist.
+Frame-assembler object identity (the lookback deque references the *same*
+open-frame objects as the open table) is rebuilt structurally from the
+``recent_frames`` column.
 
 A snapshot only captures state that is stable between engine ticks;
 :meth:`FlowSnapshot.from_stream` refuses mid-tick streams
@@ -54,7 +58,7 @@ from repro.net.flows import FlowKey, FlowStats
 __all__ = ["FlowSnapshot"]
 
 _MAGIC = b"FLW1"
-_VERSION = 1
+_VERSION = 2
 #: magic, version, flags, n_pending (reorder-buffer rows), meta_len.
 _HEADER = struct.Struct("<4sHHqq")
 
@@ -129,9 +133,11 @@ class FlowSnapshot:
         "frame_indices",
         "frame_windows",
         "frame_open",
-        "frame_counts",
-        "frame_pkt_ts",
-        "frame_pkt_sizes",
+        "frame_n_packets",
+        "frame_size_bytes",
+        "frame_raw_bytes",
+        "frame_start_ts",
+        "frame_end_ts",
         "recent_ts",
         "recent_sizes",
         "recent_frames",
@@ -166,9 +172,11 @@ class FlowSnapshot:
         frame_indices: np.ndarray,
         frame_windows: np.ndarray,
         frame_open: np.ndarray,
-        frame_counts: np.ndarray,
-        frame_pkt_ts: np.ndarray,
-        frame_pkt_sizes: np.ndarray,
+        frame_n_packets: np.ndarray,
+        frame_size_bytes: np.ndarray,
+        frame_raw_bytes: np.ndarray,
+        frame_start_ts: np.ndarray,
+        frame_end_ts: np.ndarray,
         recent_ts: np.ndarray,
         recent_sizes: np.ndarray,
         recent_frames: np.ndarray,
@@ -199,9 +207,11 @@ class FlowSnapshot:
         self.frame_indices = frame_indices
         self.frame_windows = frame_windows
         self.frame_open = frame_open
-        self.frame_counts = frame_counts
-        self.frame_pkt_ts = frame_pkt_ts
-        self.frame_pkt_sizes = frame_pkt_sizes
+        self.frame_n_packets = frame_n_packets
+        self.frame_size_bytes = frame_size_bytes
+        self.frame_raw_bytes = frame_raw_bytes
+        self.frame_start_ts = frame_start_ts
+        self.frame_end_ts = frame_end_ts
         self.recent_ts = recent_ts
         self.recent_sizes = recent_sizes
         self.recent_frames = recent_frames
@@ -257,9 +267,11 @@ class FlowSnapshot:
         frame_indices: list[int] = []
         frame_windows: list[int] = []
         frame_open: list[int] = []
-        frame_counts: list[int] = []
-        frame_pkt_ts: list[float] = []
-        frame_pkt_sizes: list[int] = []
+        frame_n_packets: list[int] = []
+        frame_size_bytes: list[int] = []
+        frame_raw_bytes: list[int] = []
+        frame_start_ts: list[float] = []
+        frame_end_ts: list[float] = []
         recent_ts: list[float] = []
         recent_sizes: list[int] = []
         recent_frames: list[int] = []
@@ -269,10 +281,11 @@ class FlowSnapshot:
                 frame_indices.append(frame.frame_index)
                 frame_windows.append(window)
                 frame_open.append(1 if is_open else 0)
-                frame_counts.append(len(frame.packets))
-                for packet in frame.packets:
-                    frame_pkt_ts.append(packet.timestamp)
-                    frame_pkt_sizes.append(packet.payload_size)
+                frame_n_packets.append(frame.n_packets)
+                frame_size_bytes.append(frame.size_bytes)
+                frame_raw_bytes.append(frame.raw_size_bytes)
+                frame_start_ts.append(frame.start_time)
+                frame_end_ts.append(frame.end_time)
 
             for window, frames in stream._frame_buckets.items():
                 for frame in frames:
@@ -280,9 +293,9 @@ class FlowSnapshot:
             assembler = stream.assembler
             for frame in assembler._open.values():
                 record(frame, -1, is_open=True)
-            for packet, frame in assembler._recent:
-                recent_ts.append(packet.timestamp)
-                recent_sizes.append(packet.payload_size)
+            for ts, size, frame in assembler._recent:
+                recent_ts.append(ts)
+                recent_sizes.append(size)
                 recent_frames.append(frame.frame_index)
             asm_next_index = assembler._next_index
 
@@ -305,9 +318,11 @@ class FlowSnapshot:
             frame_indices=np.array(frame_indices, dtype=_I8),
             frame_windows=np.array(frame_windows, dtype=_I8),
             frame_open=np.array(frame_open, dtype=_I1),
-            frame_counts=np.array(frame_counts, dtype=_I8),
-            frame_pkt_ts=np.array(frame_pkt_ts, dtype=_F8),
-            frame_pkt_sizes=np.array(frame_pkt_sizes, dtype=_I8),
+            frame_n_packets=np.array(frame_n_packets, dtype=_I8),
+            frame_size_bytes=np.array(frame_size_bytes, dtype=_I8),
+            frame_raw_bytes=np.array(frame_raw_bytes, dtype=_I8),
+            frame_start_ts=np.array(frame_start_ts, dtype=_F8),
+            frame_end_ts=np.array(frame_end_ts, dtype=_F8),
             recent_ts=np.array(recent_ts, dtype=_F8),
             recent_sizes=np.array(recent_sizes, dtype=_I8),
             recent_frames=np.array(recent_frames, dtype=_I8),
@@ -366,15 +381,15 @@ class FlowSnapshot:
 
         assembler = stream.assembler
         open_frames: dict[int, AssembledFrame] = {}
-        offset = 0
         for i in range(len(self.frame_indices)):
-            count = int(self.frame_counts[i])
-            packets = [
-                _BlockRow(float(self.frame_pkt_ts[j]), int(self.frame_pkt_sizes[j]))
-                for j in range(offset, offset + count)
-            ]
-            offset += count
-            frame = AssembledFrame(frame_index=int(self.frame_indices[i]), packets=packets)
+            frame = AssembledFrame._from_aggregates(
+                frame_index=int(self.frame_indices[i]),
+                n_packets=int(self.frame_n_packets[i]),
+                size_bytes=int(self.frame_size_bytes[i]),
+                raw_size_bytes=int(self.frame_raw_bytes[i]),
+                start_time=float(self.frame_start_ts[i]),
+                end_time=float(self.frame_end_ts[i]),
+            )
             if self.frame_open[i]:
                 open_frames[frame.frame_index] = frame
                 assembler._open[frame.frame_index] = frame
@@ -386,7 +401,7 @@ class FlowSnapshot:
             frame = open_frames.get(int(frame_index))
             if frame is None:
                 raise ValueError("corrupt flow snapshot: lookback row references a non-open frame")
-            recent.append((_BlockRow(float(ts), int(size)), frame))
+            recent.append((float(ts), int(size), frame))
             live[frame.frame_index] = live.get(frame.frame_index, 0) + 1
         if set(live) != set(open_frames):
             raise ValueError("corrupt flow snapshot: open frame without a lookback reference")
@@ -407,9 +422,11 @@ class FlowSnapshot:
             (self.frame_indices, _I8),
             (self.frame_windows, _I8),
             (self.frame_open, _I1),
-            (self.frame_counts, _I8),
-            (self.frame_pkt_ts, _F8),
-            (self.frame_pkt_sizes, _I8),
+            (self.frame_n_packets, _I8),
+            (self.frame_size_bytes, _I8),
+            (self.frame_raw_bytes, _I8),
+            (self.frame_start_ts, _F8),
+            (self.frame_end_ts, _F8),
             (self.recent_ts, _F8),
             (self.recent_sizes, _I8),
             (self.recent_frames, _I8),
@@ -427,7 +444,6 @@ class FlowSnapshot:
                         len(self.acc_iats),
                         len(self.acc_unique),
                         len(self.frame_indices),
-                        len(self.frame_pkt_ts),
                         len(self.recent_ts),
                     ],
                 },
@@ -538,9 +554,9 @@ class FlowSnapshot:
             stats = meta["stats"]
         except (ValueError, KeyError, TypeError) as exc:
             raise ValueError(f"corrupt flow snapshot meta blob: {exc}") from exc
-        if len(counts) != 6 or any((not isinstance(c, int)) or c < 0 for c in counts):
+        if len(counts) != 5 or any((not isinstance(c, int)) or c < 0 for c in counts):
             raise ValueError(f"corrupt flow snapshot meta: bad section counts {counts!r}")
-        n_acc_sizes, n_acc_iats, n_acc_unique, n_frames, n_frame_pkts, n_recent = counts
+        n_acc_sizes, n_acc_iats, n_acc_unique, n_frames, n_recent = counts
         offset += _pad8(meta_len)
 
         lengths = (
@@ -554,8 +570,10 @@ class FlowSnapshot:
             (n_frames, _I8),
             (n_frames, _I1),
             (n_frames, _I8),
-            (n_frame_pkts, _F8),
-            (n_frame_pkts, _I8),
+            (n_frames, _I8),
+            (n_frames, _I8),
+            (n_frames, _F8),
+            (n_frames, _F8),
             (n_recent, _F8),
             (n_recent, _I8),
             (n_recent, _I8),
@@ -580,15 +598,17 @@ class FlowSnapshot:
             frame_indices,
             frame_windows,
             frame_open,
-            frame_counts,
-            frame_pkt_ts,
-            frame_pkt_sizes,
+            frame_n_packets,
+            frame_size_bytes,
+            frame_raw_bytes,
+            frame_start_ts,
+            frame_end_ts,
             recent_ts,
             recent_sizes,
             recent_frames,
         ) = columns
-        if int(frame_counts.sum()) != n_frame_pkts:
-            raise ValueError("corrupt flow snapshot: frame packet counts do not sum")
+        if n_frames and int(frame_n_packets.min()) < 1:
+            raise ValueError("corrupt flow snapshot: empty assembled frame")
 
         return cls(
             flow=flow,
@@ -617,9 +637,11 @@ class FlowSnapshot:
             frame_indices=frame_indices,
             frame_windows=frame_windows,
             frame_open=frame_open,
-            frame_counts=frame_counts,
-            frame_pkt_ts=frame_pkt_ts,
-            frame_pkt_sizes=frame_pkt_sizes,
+            frame_n_packets=frame_n_packets,
+            frame_size_bytes=frame_size_bytes,
+            frame_raw_bytes=frame_raw_bytes,
+            frame_start_ts=frame_start_ts,
+            frame_end_ts=frame_end_ts,
             recent_ts=recent_ts,
             recent_sizes=recent_sizes,
             recent_frames=recent_frames,

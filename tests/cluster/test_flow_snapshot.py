@@ -73,8 +73,6 @@ def random_snapshot(rng: random.Random) -> FlowSnapshot:
     n_iats = rng.randint(0, 60)
     n_unique = rng.randint(0, 30)
     n_frames = rng.randint(0, 12)
-    frame_counts = _ints(rng, n_frames, low=0, high=6)
-    n_frame_pkts = int(frame_counts.sum())
     n_recent = rng.randint(0, 20)
     flow = (
         None
@@ -108,16 +106,18 @@ def random_snapshot(rng: random.Random) -> FlowSnapshot:
         frame_indices=_ints(rng, n_frames),
         frame_windows=_ints(rng, n_frames, low=-3, high=2**30),
         frame_open=np.array([rng.randint(0, 1) for _ in range(n_frames)], dtype="<i1"),
-        frame_counts=frame_counts,
-        frame_pkt_ts=_floats(rng, n_frame_pkts),
-        frame_pkt_sizes=_ints(rng, n_frame_pkts, high=65536),
+        frame_n_packets=_ints(rng, n_frames, low=1, high=200),
+        frame_size_bytes=_ints(rng, n_frames, high=2**32),
+        frame_raw_bytes=_ints(rng, n_frames, high=2**32),
+        frame_start_ts=_floats(rng, n_frames),
+        frame_end_ts=_floats(rng, n_frames),
         recent_ts=_floats(rng, n_recent),
         recent_sizes=_ints(rng, n_recent, high=65536),
         recent_frames=_ints(rng, n_recent),
     )
 
 
-_FLOAT_COLUMNS = ("pending_ts", "acc_sizes", "acc_iats", "frame_pkt_ts", "recent_ts")
+_FLOAT_COLUMNS = ("pending_ts", "acc_sizes", "acc_iats", "frame_start_ts", "frame_end_ts", "recent_ts")
 _INT_COLUMNS = (
     "pending_seqs",
     "pending_sizes",
@@ -125,8 +125,9 @@ _INT_COLUMNS = (
     "frame_indices",
     "frame_windows",
     "frame_open",
-    "frame_counts",
-    "frame_pkt_sizes",
+    "frame_n_packets",
+    "frame_size_bytes",
+    "frame_raw_bytes",
     "recent_sizes",
     "recent_frames",
 )
@@ -180,7 +181,7 @@ class TestFlowSnapshotCodecFuzz:
         with pytest.raises(ValueError, match="magic"):
             FlowSnapshot.read_from(bad_magic)
         bad_version = bytearray(payload)
-        struct.pack_into("<H", bad_version, 4, 2)
+        struct.pack_into("<H", bad_version, 4, 99)
         with pytest.raises(ValueError, match="version"):
             FlowSnapshot.read_from(bad_version)
         bad_rows = bytearray(payload)
@@ -193,16 +194,18 @@ class TestFlowSnapshotCodecFuzz:
         with pytest.raises(ValueError, match="meta"):
             FlowSnapshot.read_from(bad_meta)
 
-    def test_mismatched_frame_packet_counts_raise(self):
+    def test_empty_assembled_frame_raises(self):
         snapshot = random_snapshot(random.Random(2))
         snapshot.frame_indices = np.array([1], dtype="<i8")
         snapshot.frame_windows = np.array([0], dtype="<i8")
         snapshot.frame_open = np.array([0], dtype="<i1")
-        snapshot.frame_counts = np.array([3], dtype="<i8")  # but only 1 packet row
-        snapshot.frame_pkt_ts = np.array([0.5], dtype="<f8")
-        snapshot.frame_pkt_sizes = np.array([100], dtype="<i8")
+        snapshot.frame_n_packets = np.array([0], dtype="<i8")  # a frame with no packets
+        snapshot.frame_size_bytes = np.array([100], dtype="<i8")
+        snapshot.frame_raw_bytes = np.array([112], dtype="<i8")
+        snapshot.frame_start_ts = np.array([0.5], dtype="<f8")
+        snapshot.frame_end_ts = np.array([0.5], dtype="<f8")
         snapshot._meta_cache = None
-        with pytest.raises(ValueError, match="do not sum"):
+        with pytest.raises(ValueError, match="empty assembled frame"):
             FlowSnapshot.read_from(snapshot.to_bytes())
 
     def test_write_into_checks_capacity(self):

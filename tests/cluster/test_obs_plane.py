@@ -445,7 +445,7 @@ class TestReportSurfaces:
             if series.startswith("qoe_stage_seconds")
         }
         expected = {"source_read", "router_partition", "forward_push", "push_block",
-                    "fanin_release", "sink_emit"}
+                    "frame_assembly", "fanin_release", "sink_emit"}
         if transport == "shm":
             expected.add("ring_return")
         assert expected <= stages

@@ -1,5 +1,7 @@
 """Unit tests for Algorithm 1 (frame assembly) and the frame-size analyses."""
 
+import random
+
 import numpy as np
 import pytest
 
@@ -9,7 +11,7 @@ from repro.core.frame_assembly import (
     inter_frame_size_differences,
     intra_frame_size_differences,
 )
-from repro.net.packet import IPv4Header, MediaType, Packet, UDPHeader
+from repro.net.packet import RTP_FIXED_HEADER_LEN, IPv4Header, MediaType, Packet, UDPHeader
 
 
 def make_packet(timestamp, size, frame_id=None):
@@ -94,6 +96,220 @@ class TestFrameAssembler:
         frames = heuristic.assemble(webex_call.trace)
         true_frames = {p.frame_id for p in webex_call.trace if p.frame_id is not None}
         assert abs(len(frames) - len(true_frames)) / len(true_frames) < 0.25
+
+
+def _frame_key(frame):
+    return (
+        frame.frame_index,
+        frame.n_packets,
+        frame.size_bytes,
+        frame.raw_size_bytes,
+        frame.start_time,
+        frame.end_time,
+    )
+
+
+def _state_key(assembler):
+    return (
+        [(ts, size, frame.frame_index) for ts, size, frame in assembler._recent],
+        {index: _frame_key(frame) for index, frame in assembler._open.items()},
+        dict(assembler._live),
+        assembler._next_index,
+    )
+
+
+def _push_scalar(assembler, packets):
+    finalized = []
+    for packet in packets:
+        finalized.extend(assembler.push(packet))
+    return finalized
+
+
+def _push_vectorized(assembler, packets):
+    """Push one timestamp-sorted chunk through the array entry point."""
+    count = len(packets)
+    sizes = np.fromiter((p.payload_size for p in packets), np.int64, count)
+    timestamps = np.fromiter((p.timestamp for p in packets), np.float64, count)
+    media = np.maximum(sizes - RTP_FIXED_HEADER_LEN, 0)
+    run = assembler.push_rows(sizes, media, timestamps)
+    assert run is not None
+    rows = [row for row, _ in run.finalized]
+    assert rows == sorted(rows)  # finalization order == row order
+    return [frame for _, frame in run.finalized]
+
+
+def _random_trace(rng, n, tie_heavy):
+    """Random sorted trace; ``tie_heavy`` draws from a small size alphabet so
+    duplicate sizes inside the lookback and exact ``abs diff == delta_size``
+    ties are common."""
+    alphabet = (1000, 1002, 998, 950, 948, 700)
+    packets = []
+    ts = 0.0
+    for _ in range(n):
+        ts += rng.random() * 0.01
+        if tie_heavy:
+            size = rng.choice(alphabet)
+        else:
+            size = rng.randrange(100, 1300)
+        packets.append(make_packet(ts, size))
+    return packets
+
+
+class TestPushRowsEquivalence:
+    """Property fuzz: vectorized ``push_rows`` == scalar ``push``, frame for
+    frame, finalization order and post-run state included, across arbitrary
+    run splits."""
+
+    @pytest.mark.parametrize("lookback", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_traces_random_splits(self, lookback, seed):
+        rng = random.Random(seed * 31 + lookback)
+        packets = _random_trace(rng, rng.randint(1, 120), tie_heavy=rng.random() < 0.5)
+        cuts = sorted(rng.sample(range(len(packets) + 1), k=min(4, len(packets))))
+        scalar = FrameAssembler(delta_size=2, lookback=lookback)
+        vector = FrameAssembler(delta_size=2, lookback=lookback)
+        expected = _push_scalar(scalar, packets)
+        got = []
+        for lo, hi in zip([0] + cuts, cuts + [len(packets)]):
+            if hi > lo:
+                got.extend(_push_vectorized(vector, packets[lo:hi]))
+        assert [_frame_key(f) for f in got] == [_frame_key(f) for f in expected]
+        assert _state_key(vector) == _state_key(scalar)
+        assert [_frame_key(f) for f in vector.flush()] == [
+            _frame_key(f) for f in scalar.flush()
+        ]
+
+    @pytest.mark.parametrize("lookback", [1, 2, 3])
+    def test_every_cut_point(self, lookback):
+        packets = _random_trace(random.Random(7), 14, tie_heavy=True)
+        scalar = FrameAssembler(delta_size=2, lookback=lookback)
+        expected = _push_scalar(scalar, packets)
+        expected_state = _state_key(scalar)
+        for cut in range(len(packets) + 1):
+            vector = FrameAssembler(delta_size=2, lookback=lookback)
+            got = []
+            for chunk in (packets[:cut], packets[cut:]):
+                if chunk:
+                    got.extend(_push_vectorized(vector, chunk))
+            assert [_frame_key(f) for f in got] == [_frame_key(f) for f in expected], cut
+            assert _state_key(vector) == expected_state, cut
+
+    def test_exact_delta_tie_joins_most_recent(self):
+        # 1000 then 1002: abs diff == delta_size joins; the third packet
+        # (1000) is within delta of *both* recent entries and must join via
+        # the most recent (1002), not open a new frame or pick the older one.
+        packets = [make_packet(0.001, 1000), make_packet(0.002, 1002), make_packet(0.003, 1000)]
+        scalar = FrameAssembler(delta_size=2, lookback=2)
+        vector = FrameAssembler(delta_size=2, lookback=2)
+        _push_scalar(scalar, packets)
+        _push_vectorized(vector, packets)
+        assert _state_key(vector) == _state_key(scalar)
+        assert len(vector._open) == 1
+
+    def test_duplicate_sizes_most_recent_wins(self):
+        # Two open frames both containing 1000-byte packets inside the
+        # lookback: the newcomer joins the most recently touched frame.
+        sizes = [1000, 500, 1000, 1000]
+        packets = [make_packet(0.001 * (i + 1), s) for i, s in enumerate(sizes)]
+        for lookback in (2, 3):
+            scalar = FrameAssembler(delta_size=2, lookback=lookback)
+            vector = FrameAssembler(delta_size=2, lookback=lookback)
+            expected = _push_scalar(scalar, packets)
+            got = _push_vectorized(vector, packets)
+            assert [_frame_key(f) for f in got] == [_frame_key(f) for f in expected]
+            assert _state_key(vector) == _state_key(scalar)
+
+    def test_single_packet_frames(self):
+        # Strictly spreading sizes: every packet opens (and soon finalizes)
+        # its own frame.
+        packets = [make_packet(0.001 * (i + 1), 100 + 10 * i) for i in range(20)]
+        scalar = FrameAssembler(delta_size=2, lookback=3)
+        vector = FrameAssembler(delta_size=2, lookback=3)
+        expected = _push_scalar(scalar, packets)
+        got = _push_vectorized(vector, packets)
+        assert len(expected) == 17  # 20 frames, the last `lookback` still open
+        assert [_frame_key(f) for f in got] == [_frame_key(f) for f in expected]
+        assert _state_key(vector) == _state_key(scalar)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_finalize_stale_between_runs(self, seed):
+        """``finalize_stale`` sweeps interleave with vectorized runs exactly
+        as they do with scalar pushes at the same trace positions."""
+        rng = random.Random(100 + seed)
+        packets = _random_trace(rng, 80, tie_heavy=True)
+        # Inject stalls so the sweeps actually evict something.
+        stall_at = sorted(rng.sample(range(1, 79), k=3))
+        shift = 0.0
+        shifted = []
+        for i, packet in enumerate(packets):
+            if i in stall_at:
+                shift += 5.0
+            shifted.append(make_packet(packet.timestamp + shift, packet.payload_size))
+        cuts = sorted(rng.sample(range(1, 80), k=5))
+        scalar = FrameAssembler(delta_size=2, lookback=2)
+        vector = FrameAssembler(delta_size=2, lookback=2)
+        expected, got = [], []
+        for lo, hi in zip([0] + cuts, cuts + [80]):
+            chunk = shifted[lo:hi]
+            if not chunk:
+                continue
+            expected.extend(_push_scalar(scalar, chunk))
+            got.extend(_push_vectorized(vector, chunk))
+            older_than = chunk[-1].timestamp - 1.0
+            expected.extend(scalar.finalize_stale(older_than))
+            got.extend(vector.finalize_stale(older_than))
+            assert _state_key(vector) == _state_key(scalar)
+        assert [_frame_key(f) for f in got] == [_frame_key(f) for f in expected]
+
+    def test_liveness_bailout_commits_nothing(self):
+        """With ``max_gap_s`` set, a run a concurrent stale sweep could cut
+        into returns ``None`` and leaves the assembler untouched."""
+        assembler = FrameAssembler(delta_size=2, lookback=2)
+        _push_scalar(assembler, [make_packet(0.001, 1000), make_packet(0.002, 1000)])
+        before = _state_key(assembler)
+        sizes = np.array([700, 700], dtype=np.int64)
+        media = np.maximum(sizes - RTP_FIXED_HEADER_LEN, 0)
+        # 9-second gap before the run: the carried 1000-byte frame would sit
+        # unfinalized past the 2 s bound while these rows push.
+        timestamps = np.array([9.0, 9.001], dtype=np.float64)
+        assert assembler.push_rows(sizes, media, timestamps, max_gap_s=2.0) is None
+        assert _state_key(assembler) == before
+        # Without the bound the same run commits: the carried frame's entries
+        # pop out of the lookback, finalizing it.
+        run = assembler.push_rows(sizes, media, timestamps)
+        assert run is not None
+        assert [frame.frame_index for _, frame in run.finalized] == [0]
+        assert len(assembler._open) == 1
+
+    def test_empty_run_is_a_no_op(self):
+        assembler = FrameAssembler(delta_size=2, lookback=2)
+        _push_scalar(assembler, [make_packet(0.001, 1000)])
+        before = _state_key(assembler)
+        empty_i = np.empty(0, dtype=np.int64)
+        run = assembler.push_rows(empty_i, empty_i, np.empty(0, dtype=np.float64))
+        assert run is not None and run.finalized == [] and run.frames == []
+        assert _state_key(assembler) == before
+
+    def test_batch_assemble_output_order_pinned(self):
+        """The batch adapter rides the vectorized path but keeps creation
+        order and per-frame packet lists (lazy view)."""
+        rng = random.Random(5)
+        packets = _random_trace(rng, 60, tie_heavy=True)
+        frames = FrameAssembler(delta_size=2, lookback=2).assemble(packets)
+        assert [f.frame_index for f in frames] == sorted(f.frame_index for f in frames)
+        assert sum(f.n_packets for f in frames) == 60
+        for frame in frames:
+            assert len(frame.packets) == frame.n_packets
+            assert sum(p.payload_size for p in frame.packets) == frame.raw_size_bytes
+            assert min(p.timestamp for p in frame.packets) == frame.start_time
+
+    def test_aggregate_only_frames_refuse_packet_access(self):
+        assembler = FrameAssembler(delta_size=2, lookback=1)
+        packets = [make_packet(0.001, 1000), make_packet(0.002, 500), make_packet(0.003, 100)]
+        finalized = _push_vectorized(assembler, packets)
+        assert finalized
+        with pytest.raises(ValueError, match="aggregate columns only"):
+            finalized[0].packets
 
 
 class TestFrameSizeDifferences:

@@ -157,6 +157,35 @@ class TestPushBlockEquivalence:
             emitted.extend(engine.flush())
             assert emitted == per_packet_run(pipeline, vantage_packets)
 
+    def test_heuristic_block_path_constructs_zero_packet_objects(self, vantage_packets, monkeypatch):
+        """Sorted in-flow runs feed the vectorized assembler as raw columns:
+        the heuristic block path must never materialize a ``Packet``."""
+        import repro.net.packet as packet_mod
+
+        pipeline = QoEPipeline.for_vca("teams")
+        engine = StreamingQoEPipeline(pipeline)
+        # Wire-style blocks (no in-process packet cache), built up front so
+        # only the engine runs under the instrumented constructor.
+        blocks = [
+            pickle.loads(pickle.dumps(block))
+            for block in blocks_from_packets(vantage_packets, 256)
+        ]
+        constructed = 0
+        real_init = packet_mod.Packet.__init__
+
+        def counting_init(self, *args, **kwargs):
+            nonlocal constructed
+            constructed += 1
+            real_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(packet_mod.Packet, "__init__", counting_init)
+        emitted = []
+        for block in blocks:
+            emitted.extend(engine.push_block(block))
+        emitted.extend(engine.flush())
+        assert constructed == 0
+        assert emitted  # the run actually produced estimates
+
     def test_push_block_after_flush_raises(self, vantage_packets):
         engine = StreamingQoEPipeline(QoEPipeline.for_vca("teams"))
         engine.flush()
