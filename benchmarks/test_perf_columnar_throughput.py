@@ -101,7 +101,7 @@ def vantage_trace() -> PacketTrace:
         _synthetic_session(seed, f"10.0.0.{seed + 1}", 50000 + seed) for seed in range(N_FLOWS)
     ]
     trace = PacketTrace([p for flow in flows for p in flow])
-    trace.block  # build the columnar cache outside the timed regions
+    trace.block  # noqa: B018 -- builds the columnar cache outside the timed regions
     return trace
 
 

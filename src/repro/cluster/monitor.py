@@ -723,10 +723,12 @@ class ShardedQoEMonitor:
                     self._pump()
                     if epoch in self._migrated:
                         break
+                    # The queue timeout is incidental; worker death is the
+                    # real cause, so don't chain the Empty.
                     raise RuntimeError(
                         f"shard worker {src} died (exit code "
                         f"{worker.process.exitcode}) during migration epoch {epoch}"
-                    )
+                    ) from None
                 continue
             self._handle(message)
         return self._migrated.pop(epoch)
@@ -824,7 +826,7 @@ class ShardedQoEMonitor:
                             raise RuntimeError(
                                 f"shard worker {worker.shard_id} exited (code "
                                 f"{worker.process.exitcode}) without reporting results"
-                            )
+                            ) from None
                 continue
             self._handle(message)
 

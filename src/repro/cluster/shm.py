@@ -161,7 +161,9 @@ class BlockRing:
         # Occupancy counters live at the head of the segment: the producer
         # owns [0] (slots produced), the consumer owns [1] (slots consumed).
         # Telemetry only -- a torn read costs nothing but a stats blip.
-        self._counters = np.frombuffer(segment.buf, dtype=np.uint64, count=2)
+        # Not wire decoding: these two words never leave the host, so native
+        # byte order is correct and no codec entry point applies.
+        self._counters = np.frombuffer(segment.buf, dtype=np.uint64, count=2)  # detlint: disable=CODEC002 -- in-host occupancy counters, not wire payload
         # Producer and consumer each track their own cursor; SPSC in slot
         # order means they never need to share it.
         self._cursor = 0

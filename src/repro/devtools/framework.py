@@ -1,0 +1,375 @@
+"""The detlint engine: rule registry, single-pass AST walk, suppressions.
+
+Design constraints, in order:
+
+* **Single pass per file.**  The source is read once, parsed once, and the
+  tree is walked once; every rule receives only the node types it declared
+  interest in.  Linting the whole of ``src/repro`` has to stay cheap enough
+  to run as a tier-1 test on every commit.
+* **Rules are scoped by path.**  Most invariants are contracts of specific
+  modules (the wire codecs, the forest aggregator, the hot-path packages);
+  a rule declares the path fragments it polices and the engine never shows
+  it anything else.  ``select=`` overrides scoping -- that is how the
+  fixture-corpus tests drive a rule over a temp file, and how a developer
+  asks "would OBS001 fire here?".
+* **Suppressions are per-line and named.**  ``# detlint: disable=RULE`` on
+  the finding's line silences exactly that rule there; naming a rule that
+  does not exist is itself an error (:data:`UNKNOWN_SUPPRESSION`), because a
+  typo'd suppression silently enforcing nothing is worse than no suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rule",
+    "PARSE_ERROR",
+    "UNKNOWN_SUPPRESSION",
+]
+
+#: Framework-level finding codes.  They are not :class:`Rule` instances --
+#: they cannot be selected, scoped, or (deliberately) suppressed.
+PARSE_ERROR = "LINT001"
+UNKNOWN_SUPPRESSION = "LINT002"
+
+_SUPPRESS_RE = re.compile(r"#\s*detlint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class for one named invariant.
+
+    Subclasses set the class attributes and implement :meth:`visit`, which
+    the engine calls once for every node whose type appears in
+    ``node_types``.  A rule reports through :meth:`LintContext.add`.
+    """
+
+    #: Stable identifier, e.g. ``"DET001"`` -- what suppressions name.
+    id: str = ""
+    #: One-line summary for ``--list-rules`` and the README table.
+    summary: str = ""
+    #: Why the invariant exists (usually: which PR's contract it guards).
+    rationale: str = ""
+    #: Path fragments this rule polices.  A fragment ending in ``/`` is a
+    #: substring match against the POSIX path; otherwise a suffix match.
+    #: Empty means every file.
+    scope: tuple[str, ...] = ()
+    #: Path fragments exempt from the rule (same matching semantics).
+    exclude: tuple[str, ...] = ()
+    #: AST node types the engine should dispatch to :meth:`visit`.
+    node_types: tuple[type, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        posix = "/" + Path(path).as_posix().lstrip("/")
+        if any(_match(posix, pattern) for pattern in self.exclude):
+            return False
+        if not self.scope:
+            return True
+        return any(_match(posix, pattern) for pattern in self.scope)
+
+    def visit(self, node: ast.AST, ctx: "LintContext") -> None:
+        raise NotImplementedError
+
+    def begin_module(self, ctx: "LintContext") -> None:
+        """Per-file hook before any :meth:`visit` call (reset rule state)."""
+
+
+def _match(posix: str, pattern: str) -> bool:
+    if pattern.endswith("/"):
+        return f"/{pattern}" in posix or posix.startswith(pattern)
+    return posix.endswith(pattern)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    instance = cls()
+    if not instance.id:
+        raise ValueError(f"rule class {cls.__name__} has no id")
+    if instance.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.id}")
+    _REGISTRY[instance.id] = instance
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, in id order."""
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id]
+
+
+class LintContext:
+    """Everything a rule may ask about the file being linted.
+
+    Built once per file by the engine; carries the parsed tree, parent
+    links, the import-alias table, and the set of module-level names
+    (what :mod:`pickle` could re-import on the far side of a spawn).
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.findings: list[Finding] = []
+        self._active_rule: Rule | None = None
+        # Parent links: ast.walk order guarantees parents are annotated
+        # before their children are visited.
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        # Import-alias table: local name -> fully dotted module/attribute.
+        self.aliases: dict[str, str] = {}
+        # Names bound at module level: defs, classes, imports, assignments.
+        self.module_names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    local = name.asname or name.name.split(".")[0]
+                    self.aliases[local] = name.name if name.asname else name.name.split(".")[0]
+                    # ``import a.b`` binds ``a``; ``import a.b as c`` binds c=a.b.
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports: not resolvable without package context
+                for name in node.names:
+                    local = name.asname or name.name
+                    self.aliases[local] = f"{node.module}.{name.name}"
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self.module_names.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for name in node.names:
+                    self.module_names.add((name.asname or name.name).split(".")[0])
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                self.module_names.add(node.target.id)
+
+    # -- reporting -------------------------------------------------------------
+
+    def add(self, node: ast.AST, message: str, rule_id: str | None = None) -> None:
+        """Report a finding anchored at ``node``."""
+        if rule_id is None:
+            assert self._active_rule is not None
+            rule_id = self._active_rule.id
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule_id,
+                message=message,
+            )
+        )
+
+    # -- expression helpers ----------------------------------------------------
+
+    def dotted(self, node: ast.AST) -> str | None:
+        """``a.b.c`` for a Name/Attribute chain, else ``None`` (unresolved)."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Like :meth:`dotted`, with the leading import alias expanded.
+
+        ``np.random.normal`` resolves to ``numpy.random.normal`` under
+        ``import numpy as np``; a name that is not an import stays as
+        written (so shadowing a module name locally defeats resolution,
+        which is the conservative direction for every rule here).
+        """
+        dotted = self.dotted(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        head = self.aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST):
+        """Yield ``(parent, child)`` pairs walking from ``node`` to the root."""
+        child = node
+        parent = self.parents.get(child)
+        while parent is not None:
+            yield parent, child
+            child = parent
+            parent = self.parents.get(child)
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        for parent, _child in self.ancestors(node):
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return parent
+        return None
+
+
+# -- suppressions --------------------------------------------------------------
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids disabled on that line.
+
+    Only real ``COMMENT`` tokens count (the same text inside a string or
+    docstring suppresses nothing), and only the documented form is
+    recognized: ``# detlint: disable=A`` or ``# detlint: disable=A,B``;
+    anything after the rule list (for example a ``-- reason`` clause, which
+    review convention requires) is ignored.
+    """
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions  # the parse-error finding already covers this file
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match:
+            lineno = token.start[0]
+            names = {name.strip() for name in match.group(1).split(",")}
+            suppressions.setdefault(lineno, set()).update(names)
+    return suppressions
+
+
+# -- engine --------------------------------------------------------------------
+
+
+@dataclass
+class LintResult:
+    """Findings plus bookkeeping for one engine run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+
+def _selected_rules(path: str, select: tuple[str, ...] | None) -> list[Rule]:
+    if select is not None:
+        return [get_rule(rule_id) for rule_id in select]
+    return [rule for rule in all_rules() if rule.applies_to(path)]
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: tuple[str, ...] | None = None
+) -> LintResult:
+    """Lint one source string; ``select`` forces those rules regardless of scope."""
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                rule=PARSE_ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return result
+
+    suppressions = parse_suppressions(source)
+    known = set(_REGISTRY)
+    for lineno in sorted(suppressions):
+        for rule_id in sorted(suppressions[lineno] - known):
+            result.findings.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    col=1,
+                    rule=UNKNOWN_SUPPRESSION,
+                    message=(
+                        f"suppression names unknown rule {rule_id!r} "
+                        "(a typo here silently enforces nothing)"
+                    ),
+                )
+            )
+
+    rules = _selected_rules(path, select)
+    if rules:
+        ctx = LintContext(path, source, tree)
+        dispatch: dict[type, list[Rule]] = {}
+        for rule in rules:
+            rule.begin_module(ctx)
+            for node_type in rule.node_types:
+                dispatch.setdefault(node_type, []).append(rule)
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                ctx._active_rule = rule
+                rule.visit(node, ctx)
+        for finding in ctx.findings:
+            if finding.rule in suppressions.get(finding.line, ()):
+                result.suppressed += 1
+            else:
+                result.findings.append(finding)
+    result.findings.sort()
+    return result
+
+
+def lint_file(path: str | Path, select: tuple[str, ...] | None = None) -> LintResult:
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, str(path), select=select)
+
+
+def iter_python_files(paths) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(p for p in path.rglob("*.py") if "__pycache__" not in p.parts))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(paths, select: tuple[str, ...] | None = None) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    total = LintResult()
+    for path in iter_python_files(paths):
+        result = lint_file(path, select=select)
+        total.findings.extend(result.findings)
+        total.files_checked += result.files_checked
+        total.suppressed += result.suppressed
+    total.findings.sort()
+    return total

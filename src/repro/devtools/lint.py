@@ -1,0 +1,102 @@
+"""The detlint CLI: ``python -m repro.devtools.lint [paths]``.
+
+Exit codes follow the convention the CI job and the tier-1 self-clean test
+rely on:
+
+* ``0`` -- every checked file is clean (suppressed findings do not count);
+* ``1`` -- at least one finding;
+* ``2`` -- usage error (unknown rule in ``--select``, missing path, bad
+  flag): the lint did not meaningfully run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Keep the rule registry populated however this module is reached
+# (``python -m repro.devtools.lint`` imports it without the package
+# ``__init__`` having registered anything yet).
+import repro.devtools.rules  # noqa: F401
+from repro.devtools.framework import all_rules, lint_paths
+from repro.devtools.report import render_json, render_rule_table, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="detlint: the repro invariant linter",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run on every file, ignoring rule path scopes",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help; preserve both.
+        return int(exc.code or 0)
+
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+
+    select: tuple[str, ...] | None = None
+    if args.select is not None:
+        select = tuple(name.strip() for name in args.select.split(",") if name.strip())
+        known = {rule.id for rule in all_rules()}
+        unknown = [name for name in select if name not in known]
+        if unknown:
+            print(f"error: unknown rule(s) in --select: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        if not select:
+            print("error: --select given but names no rules", file=sys.stderr)
+            return 2
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    result = lint_paths(args.paths, select=select)
+    report = render_json(result) if args.format == "json" else render_text(result)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Finding reporters: terminal text and a stable JSON schema.
+
+The JSON shape is versioned and consumed by the CI artifact upload; keep
+it backward compatible (add keys, never repurpose them).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.framework import LintResult, all_rules
+
+__all__ = ["render_text", "render_json", "render_rule_table", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """``path:line:col: RULE message`` per finding plus a summary line."""
+    lines = [finding.render() for finding in result.findings]
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    summary = (
+        f"{len(result.findings)} {noun} in {result.files_checked} files "
+        f"({result.suppressed} suppressed)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The run as one JSON document (see ``JSON_SCHEMA_VERSION``)."""
+    counts: dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "counts": dict(sorted(counts.items())),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_rule_table() -> str:
+    """The registered rules as an aligned ``--list-rules`` table."""
+    rows = [(rule.id, rule.summary) for rule in all_rules()]
+    width = max(len(rule_id) for rule_id, _ in rows)
+    lines = [f"{rule_id:<{width}}  {summary}" for rule_id, summary in rows]
+    for rule in all_rules():
+        lines.append("")
+        lines.append(f"{rule.id}: {rule.rationale}")
+        if rule.scope:
+            lines.append(f"  scope: {', '.join(rule.scope)}")
+    return "\n".join(lines)

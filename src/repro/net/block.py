@@ -72,24 +72,34 @@ _CODEC_HEADER = struct.Struct("<4sHHqq")
 _CODEC_FLAG_MEDIA = 1 << 0
 _CODEC_FLAG_FRAMES = 1 << 1
 
+#: Explicit little-endian dtypes, shared by the wire sections below and the
+#: in-memory column constructions (``from_packets``/``concat``/``compact``):
+#: one definition means "wire dtypes equal from_packets dtypes" holds by
+#: construction, not by little-endian-host coincidence (CODEC001).
+_F8 = np.dtype("<f8")
+_I8 = np.dtype("<i8")
+_I4 = np.dtype("<i4")
+_I2 = np.dtype("<i2")
+_I1 = np.dtype("<i1")
+
 #: The per-row numeric columns in buffer order, with their wire dtypes
 #: (identical to what :meth:`PacketBlock.from_packets` builds, so a decoded
 #: block computes bit-identically to the block that was encoded).
 _CODEC_COLUMNS: tuple[tuple[str, np.dtype], ...] = (
-    ("timestamps", np.dtype("<f8")),
-    ("sizes", np.dtype("<i8")),
-    ("src_codes", np.dtype("<i4")),
-    ("dst_codes", np.dtype("<i4")),
-    ("src_ports", np.dtype("<i4")),
-    ("dst_ports", np.dtype("<i4")),
-    ("protocols", np.dtype("<i2")),
-    ("ttls", np.dtype("<i2")),
-    ("total_lengths", np.dtype("<i4")),
-    ("udp_lengths", np.dtype("<i4")),
-    ("flow_codes", np.dtype("<i4")),
+    ("timestamps", _F8),
+    ("sizes", _I8),
+    ("src_codes", _I4),
+    ("dst_codes", _I4),
+    ("src_ports", _I4),
+    ("dst_ports", _I4),
+    ("protocols", _I2),
+    ("ttls", _I2),
+    ("total_lengths", _I4),
+    ("udp_lengths", _I4),
+    ("flow_codes", _I4),
 )
-_CODEC_MEDIA_DTYPE = np.dtype("<i1")
-_CODEC_FRAME_DTYPE = np.dtype("<i8")
+_CODEC_MEDIA_DTYPE = _I1
+_CODEC_FRAME_DTYPE = _I8
 
 
 def _pad8(n: int) -> int:
@@ -225,17 +235,17 @@ class PacketBlock:
         """
         packets = packets if isinstance(packets, (list, tuple)) else list(packets)
         n = len(packets)
-        timestamps = np.empty(n, dtype=np.float64)
-        sizes = np.empty(n, dtype=np.int64)
-        src_codes = np.empty(n, dtype=np.int32)
-        dst_codes = np.empty(n, dtype=np.int32)
-        src_ports = np.empty(n, dtype=np.int32)
-        dst_ports = np.empty(n, dtype=np.int32)
-        protocols = np.empty(n, dtype=np.int16)
-        ttls = np.empty(n, dtype=np.int16)
-        total_lengths = np.empty(n, dtype=np.int32)
-        udp_lengths = np.empty(n, dtype=np.int32)
-        flow_codes = np.empty(n, dtype=np.int32)
+        timestamps = np.empty(n, dtype=_F8)
+        sizes = np.empty(n, dtype=_I8)
+        src_codes = np.empty(n, dtype=_I4)
+        dst_codes = np.empty(n, dtype=_I4)
+        src_ports = np.empty(n, dtype=_I4)
+        dst_ports = np.empty(n, dtype=_I4)
+        protocols = np.empty(n, dtype=_I2)
+        ttls = np.empty(n, dtype=_I2)
+        total_lengths = np.empty(n, dtype=_I4)
+        udp_lengths = np.empty(n, dtype=_I4)
+        flow_codes = np.empty(n, dtype=_I4)
 
         addr_codes: dict[str, int] = {}
         flow_table: dict[tuple, int] = {}
@@ -308,8 +318,8 @@ class PacketBlock:
             addresses=tuple(addr_codes),
             flows=tuple(flow_keys),
             rtp=rtp,
-            media_codes=np.asarray(media_list, dtype=np.int8) if media_list is not None else None,
-            frame_ids=np.asarray(frame_list, dtype=np.int64) if frame_list is not None else None,
+            media_codes=np.asarray(media_list, dtype=_I1) if media_list is not None else None,
+            frame_ids=np.asarray(frame_list, dtype=_I8) if frame_list is not None else None,
             _packets=tuple(packets) if keep_packets else None,
         )
 
@@ -334,10 +344,10 @@ class PacketBlock:
             addr_maps.append(
                 np.array(
                     [addr_codes.setdefault(addr, len(addr_codes)) for addr in block.addresses],
-                    dtype=np.int32,
+                    dtype=_I4,
                 )
             )
-            remap = np.empty(len(block.flows), dtype=np.int32)
+            remap = np.empty(len(block.flows), dtype=_I4)
             for local, flow in enumerate(block.flows):
                 # Resolve via the merged address table (flow addresses are
                 # guaranteed to be in the block's own table).
@@ -370,7 +380,7 @@ class PacketBlock:
                 [
                     b.media_codes
                     if b.media_codes is not None
-                    else np.full(len(b), -1, dtype=np.int8)
+                    else np.full(len(b), -1, dtype=_I1)
                     for b in blocks
                 ]
             )
@@ -380,7 +390,7 @@ class PacketBlock:
                 [
                     b.frame_ids
                     if b.frame_ids is not None
-                    else np.full(len(b), -1, dtype=np.int64)
+                    else np.full(len(b), -1, dtype=_I8)
                     for b in blocks
                 ]
             )
@@ -484,18 +494,18 @@ class PacketBlock:
         columns; a block whose tables are already dense is returned as-is.
         """
         n = len(self.timestamps)
-        flow_present = np.unique(self.flow_codes) if n else np.empty(0, dtype=np.int64)
+        flow_present = np.unique(self.flow_codes) if n else np.empty(0, dtype=_I8)
         addr_present = (
             np.unique(np.concatenate((self.src_codes, self.dst_codes)))
             if n
-            else np.empty(0, dtype=np.int64)
+            else np.empty(0, dtype=_I8)
         )
         if len(flow_present) == len(self.flows) and len(addr_present) == len(self.addresses):
             return self
-        flow_map = np.zeros(len(self.flows) + 1, dtype=np.int32)
-        flow_map[flow_present] = np.arange(len(flow_present), dtype=np.int32)
-        addr_map = np.zeros(len(self.addresses) + 1, dtype=np.int32)
-        addr_map[addr_present] = np.arange(len(addr_present), dtype=np.int32)
+        flow_map = np.zeros(len(self.flows) + 1, dtype=_I4)
+        flow_map[flow_present] = np.arange(len(flow_present), dtype=_I4)
+        addr_map = np.zeros(len(self.addresses) + 1, dtype=_I4)
+        addr_map[addr_present] = np.arange(len(addr_present), dtype=_I4)
         return PacketBlock(
             timestamps=self.timestamps,
             sizes=self.sizes,

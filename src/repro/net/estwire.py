@@ -34,10 +34,17 @@ from __future__ import annotations
 
 import json
 import struct
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.net.flows import FlowKey
+
+if TYPE_CHECKING:  # runtime import would be circular (worker -> estwire)
+    from repro.core.streaming import StreamEstimate
+
+#: Anything :class:`memoryview` accepts -- the codec never copies out of it.
+_Buffer = bytes | bytearray | memoryview
 
 __all__ = ["EstimateBatch"]
 
@@ -136,7 +143,9 @@ class EstimateBatch:
     # -- construction ----------------------------------------------------------
 
     @classmethod
-    def from_estimates(cls, items, low_watermark: float | None) -> "EstimateBatch":
+    def from_estimates(
+        cls, items: Sequence[StreamEstimate], low_watermark: float | None
+    ) -> "EstimateBatch":
         """Build a batch from a tick's ``[StreamEstimate]`` list.
 
         Raises :class:`ValueError` when a row is not flat-encodable (a
@@ -235,7 +244,7 @@ class EstimateBatch:
         size += _pad8(n * _SOURCE_DTYPE.itemsize)
         return size
 
-    def write_into(self, buf) -> int:
+    def write_into(self, buf: _Buffer) -> int:
         """Encode this batch into ``buf``; returns the bytes written."""
         n = len(self)
         meta = self._codec_meta()
@@ -267,7 +276,7 @@ class EstimateBatch:
         return offset
 
     @classmethod
-    def read_from(cls, buf) -> "EstimateBatch":
+    def read_from(cls, buf: _Buffer) -> "EstimateBatch":
         """Decode a batch encoded by :meth:`write_into`, zero-copy.
 
         Every column is an ``np.frombuffer`` *view* over ``buf``; the caller

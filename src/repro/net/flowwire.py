@@ -220,7 +220,9 @@ class FlowSnapshot:
     # -- capture ---------------------------------------------------------------
 
     @classmethod
-    def from_stream(cls, flow: FlowKey | None, stream, stats: FlowStats | None = None) -> "FlowSnapshot":
+    def from_stream(
+        cls, flow: FlowKey | None, stream: _FlowStream, stats: FlowStats | None = None
+    ) -> "FlowSnapshot":
         """Capture one live ``_FlowStream`` (does not mutate the stream).
 
         ``stats`` is the engine-level flow-table entry that travels with the
@@ -331,7 +333,7 @@ class FlowSnapshot:
 
     # -- restore ---------------------------------------------------------------
 
-    def apply_to(self, stream) -> None:
+    def apply_to(self, stream: _FlowStream) -> None:
         """Load this snapshot into a freshly created ``_FlowStream``.
 
         The stream must come from ``_make_stream`` on an engine with the same
@@ -458,7 +460,7 @@ class FlowSnapshot:
             size += _pad8(len(values) * dtype.itemsize)
         return size
 
-    def write_into(self, buf) -> int:
+    def write_into(self, buf: _Buffer) -> int:
         """Encode this snapshot into ``buf``; returns the bytes written."""
         meta = self._codec_meta()
         total = self.byte_size()
@@ -514,7 +516,7 @@ class FlowSnapshot:
         return bytes(buf)
 
     @classmethod
-    def read_from(cls, buf) -> "FlowSnapshot":
+    def read_from(cls, buf: _Buffer) -> "FlowSnapshot":
         """Decode a snapshot from ``buf``; validates structure, raises ValueError."""
         mv = memoryview(buf)
         if len(mv) < _HEADER.size + _SCALARS.size:

@@ -43,7 +43,7 @@ class PcapWriter:
         self._file = None
 
     def __enter__(self) -> "PcapWriter":
-        self._file = open(self.path, "wb")
+        self._file = open(self.path, "wb")  # noqa: SIM115 -- owned until __exit__
         self._file.write(
             _GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, 65535, _LINKTYPE_ETHERNET)
         )

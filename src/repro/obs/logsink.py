@@ -38,7 +38,7 @@ class MetricsLogSink(EstimateSink):
         self.registry = registry
         self.lines_written = 0
         self.closed = False
-        self._file = open(self.path, "w", encoding="utf-8")
+        self._file = open(self.path, "w", encoding="utf-8")  # noqa: SIM115 -- owned until close()
         self._next_due: float | None = None
         self._last_seen: float | None = None
 

@@ -31,7 +31,7 @@ class _FileSink(EstimateSink):
 
     def __init__(self, target) -> None:
         if isinstance(target, (str, Path)):
-            self._file = open(target, "w", newline="")
+            self._file = open(target, "w", newline="")  # noqa: SIM115 -- owned until close()
             self._owns_file = True
         else:
             self._file = target

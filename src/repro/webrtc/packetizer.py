@@ -36,7 +36,7 @@ PAYLOAD_OVERHEAD_LEN = 24
 INTRA_FRAME_GAP = 0.0006
 
 
-@dataclass
+@dataclass(frozen=True)
 class PacketizerConfig:
     """Addressing and stream identity for one packetised video stream."""
 
